@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints a paper-shaped table (visible with ``pytest -s``)
+and also writes it to ``benchmarks/results/<experiment>.txt`` so that
+EXPERIMENTS.md can reference concrete artifacts from the latest run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a result block and persist it under ``benchmarks/results/``."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")

@@ -1,0 +1,62 @@
+"""E2 — Corollary 1/2: P(‖x(t)‖ > ε‖x(0)‖) ≤ ε⁻²·(1 − 1/(2n))ᵗ.
+
+Paper claim (Appendix, Corollaries 1 and 2 — Markov on Lemma 1).
+
+Measured here: the empirical exceedance frequency over many simulated
+trajectories of the affine dynamics at several horizons t, against the
+corollary's bound (clipped to 1).
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.experiments import format_table
+from repro.gossip import AffineGossipKn, sample_alphas
+from repro.routing import TransmissionCounter
+
+
+def test_e02_tail_bound(benchmark):
+    n, epsilon, trials = 16, 0.35, 400
+    horizons = (2 * n, 8 * n, 16 * n, 32 * n)
+    rng = np.random.default_rng(103)
+    alphas = sample_alphas(n, rng)
+
+    def experiment():
+        exceed = {t: 0 for t in horizons}
+        for _ in range(trials):
+            algo = AffineGossipKn(n, alphas=alphas)
+            x = rng.normal(size=n)
+            x -= x.mean()
+            start = float(np.linalg.norm(x))
+            counter = TransmissionCounter()
+            tick = 0
+            for t in sorted(horizons):
+                while tick < t:
+                    algo.tick(int(rng.integers(n)), x, counter, rng)
+                    tick += 1
+                if float(np.linalg.norm(x - x.mean())) > epsilon * start:
+                    exceed[t] += 1
+        return exceed
+
+    exceed = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    violations = 0
+    for t in horizons:
+        bound = min(1.0, epsilon**-2 * (1 - 1 / (2 * n)) ** t)
+        rate = exceed[t] / trials
+        ok = rate <= bound + 2.5 * np.sqrt(bound * (1 - bound) / trials) + 1e-9
+        violations += not ok
+        rows.append([t, rate, bound, ok])
+    emit(
+        "e02_tail_bound",
+        format_table(
+            ["t (ticks)", "measured P(exceed)", "corollary bound", "holds"],
+            rows,
+            title=(
+                f"E2  tail bound at n={n}, eps={epsilon}, {trials} trials "
+                "(bound clipped to 1)"
+            ),
+            precision=4,
+        ),
+    )
+    assert violations == 0, "Corollary tail bound violated beyond noise"

@@ -1,0 +1,57 @@
+"""E3 — Lemma 2: perturbed affine dynamics stay under the deviation bound.
+
+Paper claim (Appendix, Lemma 2): with antisymmetric per-exchange noise
+|ν(t)| < ε_ν,
+``P[‖y(t)‖ > n^{a/2}((1−1/2n)^{t/2}‖y(0)‖ + 8√2·n^{3/2}·ε_ν)] ≤ 5/nᵃ``.
+
+Measured here: empirical exceedance rates across noise levels, plus the
+bound's decay-vs-noise-floor decomposition at one setting.
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.analysis import (
+    lemma2_bound,
+    lemma2_empirical_exceedance,
+    lemma2_failure_probability,
+)
+from repro.experiments import format_table
+
+
+def test_e03_lemma2(benchmark):
+    n, ticks, trials = 16, 600, 60
+    noise_levels = (1e-4, 1e-3, 1e-2)
+
+    def experiment():
+        rng = np.random.default_rng(107)
+        reports = {}
+        for noise in noise_levels:
+            reports[noise] = lemma2_empirical_exceedance(
+                n=n, noise_bound=noise, ticks=ticks, trials=trials, rng=rng
+            )
+        return reports
+
+    reports = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        [
+            noise,
+            reports[noise]["exceedance_rate"],
+            min(1.0, lemma2_failure_probability(n)),
+            lemma2_bound(ticks, n, 1.0, noise),
+        ]
+        for noise in noise_levels
+    ]
+    emit(
+        "e03_lemma2",
+        format_table(
+            ["noise eps_v", "measured exceedance", "allowed 5/n^a", "bound at t"],
+            rows,
+            title=f"E3  Lemma 2 at n={n}, t={ticks}, {trials} trials, ||y(0)||=1",
+            precision=4,
+        ),
+    )
+    for noise in noise_levels:
+        assert (
+            reports[noise]["exceedance_rate"] <= reports[noise]["allowed_rate"]
+        ), f"Lemma 2 exceedance above budget at noise={noise}"

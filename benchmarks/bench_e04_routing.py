@@ -1,0 +1,68 @@
+"""E4 — greedy geographic routing: O(sqrt(n/log n)) hops, ~no failures.
+
+Paper claim (§3/§5, citing Dimakis et al.): a long-range exchange between
+random nodes takes O(√n) hops w.h.p. at the connectivity radius, i.e.
+``≈ distance/r = Θ(sqrt(n/log n))``.
+
+Measured here: mean/95th-percentile hop counts and failure rates across n,
+against the ``E[dist]/r`` model, and the fitted exponent of hops vs n
+(should be ≈ 0.5 up to the log factor).
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.analysis.theory import MEAN_UNIFORM_DISTANCE
+from repro.experiments import fit_loglog_slope, format_table
+from repro.graphs import RandomGeometricGraph
+from repro.routing import GreedyRouter
+
+
+def test_e04_routing_hops(benchmark):
+    sizes = (256, 1024, 4096)
+    routes_per_size = 400
+
+    def experiment():
+        rows = []
+        for n in sizes:
+            rng = np.random.default_rng(1000 + n)
+            graph = RandomGeometricGraph.sample_connected(n, rng)
+            router = GreedyRouter(graph)
+            hops, failures = [], 0
+            for _ in range(routes_per_size):
+                source, target = rng.integers(n, size=2)
+                result = router.route_to_node(int(source), int(target))
+                hops.append(result.hops)
+                failures += not result.delivered
+            hops = np.array(hops)
+            rows.append(
+                [
+                    n,
+                    float(hops.mean()),
+                    float(np.percentile(hops, 95)),
+                    MEAN_UNIFORM_DISTANCE / graph.radius,
+                    failures / routes_per_size,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    slope = fit_loglog_slope(
+        np.array([row[0] for row in rows], dtype=float),
+        np.array([row[1] for row in rows]),
+    )
+    emit(
+        "e04_routing",
+        format_table(
+            ["n", "mean hops", "p95 hops", "model E[d]/r", "failure rate"],
+            rows,
+            title=(
+                "E4  greedy routing hops at the connectivity radius "
+                f"(fitted hops ~ n^{slope:.2f}; paper: n^0.5/sqrt(log n))"
+            ),
+        ),
+    )
+    assert 0.35 < slope < 0.65, f"hop scaling exponent {slope} off the sqrt law"
+    for row in rows:
+        assert row[4] <= 0.01, f"routing failure rate too high at n={row[0]}"
+        assert row[1] < 2.5 * row[3], "mean hops far above the distance/r model"

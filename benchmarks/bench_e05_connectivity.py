@@ -1,0 +1,53 @@
+"""E5 — connectivity threshold of G(n, r) (Gupta–Kumar regime).
+
+Paper claim (§1.1/§2.1): ``r = Ω(sqrt(log n / n))`` makes G(n, r)
+connected w.h.p.; below the threshold the graph disconnects, which is why
+the failure budget δ cannot be driven below n^{-O(1)}.
+
+Measured here: P(connected) across radius multipliers c in
+``r = c·sqrt(log n/n)`` and across n at fixed c — the sharp threshold
+around c ≈ 1/√π for this parameterisation.
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.experiments import format_table
+from repro.graphs import connectivity_probability, connectivity_radius
+
+
+def test_e05_connectivity_threshold(benchmark):
+    n, trials = 256, 40
+    constants = (0.2, 0.4, 0.7, 1.0, 1.5, 2.5)
+
+    def experiment():
+        rng = np.random.default_rng(109)
+        by_constant = [
+            connectivity_probability(
+                n, connectivity_radius(n, c), trials, rng
+            )
+            for c in constants
+        ]
+        by_size = [
+            (m, connectivity_probability(m, connectivity_radius(m, 2.0), 20, rng))
+            for m in (64, 256, 1024)
+        ]
+        return by_constant, by_size
+
+    by_constant, by_size = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    table_c = format_table(
+        ["c", "P(connected)"],
+        [[c, p] for c, p in zip(constants, by_constant)],
+        title=f"E5  connectivity of G({n}, c*sqrt(log n/n)), {trials} trials",
+    )
+    table_n = format_table(
+        ["n", "P(connected) at c=2"],
+        [[m, p] for m, p in by_size],
+        title="E5  fixed generous constant across sizes",
+    )
+    emit("e05_connectivity", table_c + "\n\n" + table_n)
+    assert by_constant[0] < 0.3, "far-subcritical radius should disconnect"
+    assert by_constant[-1] > 0.9, "supercritical radius should connect w.h.p."
+    assert all(p >= 0.9 for _, p in by_size)
+    # Monotone trend across the threshold (allow small MC noise).
+    assert by_constant[-1] >= by_constant[0]

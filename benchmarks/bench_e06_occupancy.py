@@ -1,0 +1,75 @@
+"""E6 — occupancy concentration over the √n-square partition.
+
+Paper claim (§3): by Chernoff, every top-level square's occupancy is
+within 10% of its expectation w.h.p. — the fact that keeps the induced
+sum-coefficients inside Lemma 1's (1/3, 1/2).
+
+Measured here: ``max_i |#(□_i)/E# − 1|`` across n against the union-bound
+Chernoff deviation, and the n at which the paper's 1/10 band is actually
+reached (it needs E# ≈ thousands — context for the (log n)^8 threshold).
+"""
+
+import math
+
+import numpy as np
+
+from _common import emit
+from repro.analysis import occupancy_deviation_bound, paper_occupancy_condition
+from repro.experiments import format_table
+from repro.geometry import random_points
+
+
+def test_e06_occupancy_concentration(benchmark):
+    sizes = (1024, 4096, 16384, 65536, 262144)
+
+    def experiment():
+        rows = []
+        for n in sizes:
+            rng = np.random.default_rng(2000 + n)
+            report = paper_occupancy_condition(random_points(n, rng))
+            bound = occupancy_deviation_bound(
+                report["expected_per_square"],
+                report["squares"],
+                failure_probability=1.0 / n,
+            )
+            rows.append(
+                [
+                    n,
+                    report["squares"],
+                    report["expected_per_square"],
+                    report["max_deviation"],
+                    bound,
+                    report["paper_condition_holds"],
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit(
+        "e06_occupancy",
+        format_table(
+            [
+                "n",
+                "squares n1",
+                "E# per square",
+                "measured max dev",
+                "Chernoff bound (δ=1/n)",
+                "paper |dev|<0.1",
+            ],
+            rows,
+            title="E6  occupancy concentration over the sqrt(n)-square partition",
+        ),
+    )
+    deviations = [row[3] for row in rows]
+    assert all(
+        b <= a + 0.05 for a, b in zip(deviations, deviations[1:])
+    ), "deviation should shrink with n"
+    for row in rows:
+        assert row[3] <= row[4], "measured deviation exceeded the Chernoff bound"
+    # The 1/10 band needs E# >~ 3·log(2·n1·n)·100; confirm the report is
+    # honest about where it holds.
+    for row in rows:
+        needed = 300.0 * math.log(2 * row[1] * row[0])
+        assert row[5] == (row[3] < 0.1)
+        if row[2] > needed:
+            assert row[5]

@@ -1,0 +1,69 @@
+"""E8 — convergence traces at fixed n: error vs transmissions.
+
+Paper context (§2.1 problem statement): the algorithms drive
+``‖x(t)‖/‖x(0)‖`` below ε; their *trajectories* differ sharply — flat
+per-exchange cost but slow mixing (randomized) versus expensive routed
+exchanges with complete-graph mixing (geographic, hierarchical).
+
+Measured here: the error reached by each algorithm at shared transmission
+budgets on one instance, i.e. vertical slices through the three curves.
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.experiments import ExperimentConfig, format_table, run_convergence
+
+N = 512
+EPSILON = 0.05
+
+
+def test_e08_convergence_traces(benchmark):
+    config = ExperimentConfig(
+        sizes=(N,), epsilon=EPSILON, trials=1, field="gradient"
+    )
+
+    runs = benchmark.pedantic(
+        lambda: run_convergence(config, N, trace_thinning=0.01),
+        rounds=1,
+        iterations=1,
+    )
+
+    traces = {run.algorithm: run.result.trace for run in runs}
+    budgets = (2_000, 10_000, 50_000, 200_000)
+    rows = []
+    for budget in budgets:
+        row = [budget]
+        for name in config.algorithms:
+            tx, err = traces[name].as_arrays()
+            reached = err[tx <= budget]
+            row.append(float(reached.min()) if reached.size else float("nan"))
+        rows.append(row)
+    final = [
+        ["(to ε)", *(traces[name].final_transmissions for name in config.algorithms)]
+    ]
+    emit(
+        "e08_convergence",
+        format_table(
+            ["tx budget", *config.algorithms],
+            rows,
+            title=f"E8  best error within a transmission budget (n={N}, gradient field)",
+        )
+        + "\n\n"
+        + format_table(
+            ["", *config.algorithms],
+            final,
+            title=f"E8  transmissions to reach eps={EPSILON}",
+        ),
+    )
+
+    for run in runs:
+        assert run.converged, run.algorithm
+        tx, err = run.result.trace.as_arrays()
+        assert err[0] == 1.0
+        assert err[-1] <= EPSILON
+    # Geographic should beat randomized to the target at this size.
+    assert (
+        traces["geographic"].final_transmissions
+        < traces["randomized"].final_transmissions
+    )

@@ -1,0 +1,73 @@
+"""E9 — §3 supernode analysis: square sums contract at (1 − 1/(2k)) per exchange.
+
+Paper claim (§3): with the unit square split into k ≈ √n subsquares whose
+members hold common values, the affine exchanges make the sum-vector z
+satisfy ``E‖z(t)‖² < (1 − 1/(2k))ᵗ‖z(0)‖²``, so O(k·log(k/ε)) exchanges
+suffice at the top level.
+
+Measured here: the top-level trace of the round executor (one point per
+root exchange) — the fitted per-exchange decay of the global error²
+against the predicted 1/(2k), and the exchange count against k·log(k/ε).
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.experiments import format_table
+from repro.gossip.hierarchical import HierarchicalGossip
+from repro.graphs import RandomGeometricGraph
+
+
+def test_e09_supernode_contraction(benchmark):
+    n, epsilon = 512, 0.05
+
+    def experiment():
+        rng = np.random.default_rng(211)
+        graph = RandomGeometricGraph.sample_connected(n, rng)
+        algo = HierarchicalGossip(graph)
+        x0 = np.random.default_rng(213).normal(size=n)
+        result = algo.run(
+            x0, epsilon, np.random.default_rng(217), trace_thinning=0.0
+        )
+        k = algo.tree.factors[0]
+        root_exchanges = algo.stats.exchanges_by_depth.get(0, 0)
+        return result, k, root_exchanges
+
+    result, k, root_exchanges = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    assert result.converged
+
+    # Points recorded during the root exchange loop: ticks = exchange index.
+    # (The run's final point uses cumulative-action ticks — exclude it.)
+    points = [
+        p
+        for p in result.trace.points
+        if 0 < p.ticks <= root_exchanges and p.error > 0
+    ]
+    exchange_index = np.array([p.ticks for p in points], dtype=float)
+    errors = np.array([p.error for p in points])
+    # Fit on the tail (after intra-square settling stops dominating).
+    tail = exchange_index > exchange_index.max() * 0.2
+    slope = np.polyfit(exchange_index[tail], np.log(errors[tail] ** 2), 1)[0]
+    measured_rate = -slope
+    predicted_rate = 1.0 / (2.0 * k)
+    predicted_exchanges = k * np.log(k / epsilon)
+
+    emit(
+        "e09_supernode",
+        format_table(
+            ["quantity", "measured", "paper prediction"],
+            [
+                ["top-level squares k", k, "≈ sqrt(n)"],
+                ["per-exchange decay of ||z||²", measured_rate, predicted_rate],
+                ["root exchanges to ε", root_exchanges, int(predicted_exchanges)],
+                ["final error", result.error, f"≤ {epsilon}"],
+            ],
+            title=f"E9  supernode z-dynamics at n={n}, eps={epsilon}",
+            precision=5,
+        ),
+    )
+    # The measured decay should match 1/(2k) within a small constant.
+    assert 0.3 * predicted_rate < measured_rate < 4.0 * predicted_rate
+    assert root_exchanges < 6.0 * predicted_exchanges

@@ -1,0 +1,80 @@
+"""E12 — the Boyd et al. link: randomized gossip costs Θ(n·T_mix).
+
+Paper context (§1.1): "the number of transmissions made in the course of
+the algorithm is Θ(n·T_mix(G))"; on an RGG the averaging matrix's spectral
+gap is Θ(r²/n) = Θ(log n/n²), which is the root of the Õ(n²) cost.
+
+Measured here: the spectral gap of W̄ vs the r²/n model, Boyd's tick bound
+3·log(1/ε)/gap vs measured ticks, across n.
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.analysis import averaging_time_bound, spectral_gap
+from repro.experiments import format_table
+from repro.gossip import RandomizedGossip
+from repro.graphs import RandomGeometricGraph
+
+EPSILON = 0.05
+
+
+def test_e12_mixing_link(benchmark):
+    sizes = (64, 128, 256)
+
+    def experiment():
+        rows = []
+        for n in sizes:
+            rng = np.random.default_rng(3000 + n)
+            graph = RandomGeometricGraph.sample_connected(n, rng)
+            gap = spectral_gap(graph.neighbors)
+            model = graph.radius**2 / n
+            bound_ticks = averaging_time_bound(graph.neighbors, EPSILON)
+            # Gradient field: excites the slow mode the gap describes
+            # (i.i.d. noise converges much faster than the bound).
+            from repro.workloads import linear_gradient_field
+
+            x0 = linear_gradient_field(
+                graph.positions, np.random.default_rng(3100 + n)
+            )
+            result = RandomizedGossip(graph.neighbors).run(
+                x0, EPSILON, np.random.default_rng(3200 + n)
+            )
+            rows.append(
+                [
+                    n,
+                    gap,
+                    gap / model,
+                    int(bound_ticks),
+                    result.ticks,
+                    result.ticks / bound_ticks,
+                    result.total_transmissions,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit(
+        "e12_mixing",
+        format_table(
+            [
+                "n",
+                "gap(W̄)",
+                "gap/(r²/n)",
+                "Boyd bound ticks",
+                "measured ticks",
+                "ratio",
+                "transmissions",
+            ],
+            rows,
+            title=f"E12  randomized gossip vs spectral gap (eps={EPSILON})",
+            precision=4,
+        ),
+    )
+    for row in rows:
+        n, gap, gap_ratio, bound, ticks, ratio, _tx = row
+        assert 0.4 < gap_ratio < 3.0, f"gap deviates from Θ(r²/n) at n={n}"
+        assert ticks <= 1.5 * bound, "measured ticks far above Boyd's bound"
+        assert ticks >= bound / 40.0, "bound suspiciously loose: check wiring"
+    # Cost grows clearly superlinearly (the Õ(n²) story).
+    assert rows[-1][6] / rows[0][6] > (sizes[-1] / sizes[0]) ** 1.3

@@ -1,0 +1,80 @@
+"""E16 — ablation: how much does the hierarchy's depth matter?
+
+Paper context (§3 vs §4): one level of squares + perfect inner averaging
+already gives the √n-speedup sketch; the recursion to ℓ ~ log log n
+levels is what turns Õ(n^1.5) into n^{1+o(1)}.  At simulable n the
+interesting question is where the sweet spot sits: leaves that are too
+big pay quadratic `Near` costs, leaves that are too small pay routing and
+control overhead (and lose occupancy concentration).
+
+Measured here: transmissions-to-ε of the round executor across leaf
+thresholds (hence depths ℓ), with the per-category cost split.
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.experiments import format_table
+from repro.gossip.hierarchical import HierarchicalGossip
+from repro.graphs import RandomGeometricGraph
+from repro.hierarchy import HierarchyTree
+
+N, EPSILON = 512, 0.1
+THRESHOLDS = (512.0, 128.0, 48.0, 20.0, 10.0)
+
+
+def test_e16_depth_ablation(benchmark):
+    def experiment():
+        from repro.workloads import linear_gradient_field
+
+        rng = np.random.default_rng(331)
+        graph = RandomGeometricGraph.sample_connected(N, rng)
+        # Gradient field: excites the slow mode, so flat local gossip pays
+        # its true quadratic price (i.i.d. noise would hide it).
+        x0 = linear_gradient_field(graph.positions, np.random.default_rng(337))
+        rows = []
+        for threshold in THRESHOLDS:
+            tree = HierarchyTree.build(graph.positions, leaf_threshold=threshold)
+            algo = HierarchicalGossip(graph, tree=tree)
+            result = algo.run(x0, EPSILON, np.random.default_rng(347))
+            rows.append(
+                [
+                    threshold,
+                    tree.levels,
+                    str(tree.factors),
+                    result.total_transmissions,
+                    result.transmissions.get("near", 0),
+                    result.transmissions.get("far", 0),
+                    result.transmissions.get("activation", 0),
+                    result.converged,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    emit(
+        "e16_depth_ablation",
+        format_table(
+            [
+                "leaf threshold",
+                "levels ℓ",
+                "factors",
+                "total tx",
+                "near",
+                "far",
+                "activation",
+                "converged",
+            ],
+            rows,
+            title=f"E16  hierarchy depth ablation at n={N}, eps={EPSILON}",
+        ),
+    )
+    converged_rows = [row for row in rows if row[7]]
+    assert len(converged_rows) >= 3
+    # A flat (single-level, threshold=n) configuration cannot beat every
+    # deeper one: Near costs are quadratic in leaf size.
+    flat = next(row for row in rows if row[1] == 1)
+    best = min(converged_rows, key=lambda row: row[3])
+    assert best[1] >= 2, "some hierarchy must beat the flat configuration"
+    if flat[7]:
+        assert best[3] < flat[3]

@@ -1,0 +1,70 @@
+"""E17 — the optimality context: every node must transmit at least once.
+
+Paper claim (§1.2): "The exponent 1 + o(1) is asymptotically optimal,
+since every node must make at least one transmission for an averaging
+algorithm to work."
+
+Measured here: the trivial lower bound ``n``, the coordinated
+spanning-tree aggregation reference (``3n − 2`` transmissions, exact
+average — what the bound costs to approach when a root and tree state are
+allowed), and each gossip algorithm's multiple over the bound.  The
+hierarchical protocol's claim is that this multiple is ``n^{o(1)}``
+rather than ``n^{0.5}`` or ``n``.
+"""
+
+import numpy as np
+
+from _common import emit
+from repro.experiments import ExperimentConfig, format_table, run_convergence
+from repro.gossip import transmission_lower_bound, tree_aggregate
+from repro.graphs import RandomGeometricGraph
+
+N, EPSILON = 512, 0.2
+
+
+def test_e17_optimality_reference(benchmark):
+    config = ExperimentConfig(
+        sizes=(N,), epsilon=EPSILON, trials=1, field="gradient"
+    )
+
+    def experiment():
+        runs = run_convergence(config, N)
+        graph_rng = np.random.default_rng(353)
+        graph = RandomGeometricGraph.sample_connected(N, graph_rng)
+        values = np.random.default_rng(359).normal(size=N)
+        tree_result = tree_aggregate(graph.neighbors, values)
+        return runs, tree_result
+
+    runs, tree_result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    bound = transmission_lower_bound(N)
+    rows = [["lower bound (n sends)", bound, 1.0, "exact n/a"]]
+    rows.append(
+        [
+            "tree aggregation (coordinated)",
+            tree_result.transmissions,
+            tree_result.transmissions / bound,
+            "exact",
+        ]
+    )
+    for run in runs:
+        rows.append(
+            [
+                run.algorithm + " (gossip)",
+                run.transmissions,
+                run.transmissions / bound,
+                f"ε={EPSILON}",
+            ]
+        )
+    emit(
+        "e17_optimality",
+        format_table(
+            ["scheme", "transmissions", "× lower bound", "accuracy"],
+            rows,
+            title=f"E17  distance from the n-transmission lower bound (n={N})",
+        ),
+    )
+    assert tree_result.exact
+    assert tree_result.transmissions == 3 * N - 2
+    for run in runs:
+        assert run.converged
+        assert run.transmissions > bound, "no gossip can beat the lower bound"

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: average a sensor field three ways and compare costs.
+
+Builds one geometric random graph, initialises a random measurement field,
+and runs the paper's three contenders to the same accuracy target:
+
+* randomized gossip   (Boyd et al. 2005)      — Õ(n²) transmissions
+* geographic gossip   (Dimakis et al. 2006)   — Õ(n^1.5)
+* hierarchical affine (Narayanan, this paper) — n^(1+o(1))
+
+Run:  python examples/quickstart.py [n]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import (
+    GeographicGossip,
+    HierarchicalGossip,
+    RandomGeometricGraph,
+    RandomizedGossip,
+)
+from repro.experiments import format_table
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    epsilon = 0.15
+    rng = np.random.default_rng(2007)
+
+    print(f"Sampling a connected G(n={n}, r=sqrt(2·log n/n)) ...")
+    graph = RandomGeometricGraph.sample_connected(n, rng)
+    print(
+        f"  radius={graph.radius:.4f}, edges={graph.edge_count()}, "
+        f"mean degree={graph.degrees().mean():.1f}"
+    )
+    values = rng.normal(size=n)
+    print(f"Averaging a random field to ε = {epsilon} (ℓ₂, relative)\n")
+
+    algorithms = [
+        ("randomized (Boyd et al.)", RandomizedGossip(graph.neighbors)),
+        ("geographic (Dimakis et al.)", GeographicGossip(graph)),
+        ("hierarchical affine (paper)", HierarchicalGossip(graph)),
+    ]
+    rows = []
+    for name, algorithm in algorithms:
+        started = time.perf_counter()
+        result = algorithm.run(values, epsilon, np.random.default_rng(7))
+        elapsed = time.perf_counter() - started
+        rows.append(
+            [
+                name,
+                result.total_transmissions,
+                result.error,
+                result.converged,
+                f"{elapsed:.2f}s",
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "transmissions", "final error", "converged", "wall"],
+            rows,
+            title=f"transmissions to ε={epsilon} at n={n}",
+        )
+    )
+    best = min(rows, key=lambda row: row[1])
+    print(f"\nCheapest at this size: {best[0]}")
+    print(
+        "(Rankings flip with n — see benchmarks/bench_e07_scaling.py for "
+        "the full scaling story.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Scenario: a tour of the substrates under the gossip algorithms.
+
+Everything the paper takes as given, exercised directly through the
+public API: geometric random graph construction and its connectivity
+threshold, greedy geographic routing hop counts, flooding costs, and the
+rejection sampler that makes geographic gossip's targets uniform.
+
+Run:  python examples/substrate_tour.py
+"""
+
+import numpy as np
+
+from repro import (
+    GreedyRouter,
+    RandomGeometricGraph,
+    RejectionSampler,
+    TransmissionCounter,
+    connectivity_radius,
+)
+from repro.experiments import format_table
+from repro.graphs import connectivity_probability, is_connected
+from repro.routing import flood
+
+
+def main() -> None:
+    rng = np.random.default_rng(2006)
+    n = 512
+
+    # --- connectivity threshold (Gupta–Kumar regime) ---------------------
+    print("connectivity of G(n, c·sqrt(log n / n)) at n = 200:")
+    rows = []
+    for constant in (0.4, 0.8, 1.2, 2.0):
+        radius = connectivity_radius(200, constant)
+        probability = connectivity_probability(200, radius, trials=20, rng=rng)
+        rows.append([constant, f"{radius:.3f}", probability])
+    print(format_table(["c", "radius", "P(connected)"], rows))
+
+    # --- the working graph ------------------------------------------------
+    graph = RandomGeometricGraph.sample_connected(n, rng)
+    print(
+        f"\nworking graph: n={n}, r={graph.radius:.4f}, "
+        f"{graph.edge_count()} edges, connected={is_connected(graph.neighbors)}"
+    )
+
+    # --- greedy geographic routing ----------------------------------------
+    router = GreedyRouter(graph)
+    counter = TransmissionCounter()
+    hops, failures = [], 0
+    for _ in range(300):
+        source, target = rng.integers(n, size=2)
+        result = router.route_to_node(int(source), int(target), counter)
+        hops.append(result.hops)
+        failures += not result.delivered
+    print(
+        f"\ngreedy routing over 300 random pairs: "
+        f"mean {np.mean(hops):.1f} hops, max {max(hops)}, "
+        f"failures {failures} "
+        f"(paper charges O(sqrt(n/log n)) ≈ {0.52 / graph.radius:.1f} per route)"
+    )
+
+    # --- flooding a square --------------------------------------------------
+    members = np.nonzero(
+        (graph.positions[:, 0] < 0.25) & (graph.positions[:, 1] < 0.25)
+    )[0]
+    flood_counter = TransmissionCounter()
+    reached = flood(
+        graph.neighbors, int(members[0]), members.tolist(), flood_counter
+    )
+    print(
+        f"\nflooding the bottom-left quarter-square: {len(members)} members, "
+        f"{len(reached)} reached, {flood_counter.total} transmissions (O(m))"
+    )
+
+    # --- rejection sampling --------------------------------------------------
+    print("\nrejection sampling for uniform node targets (Dimakis et al.):")
+    rows = []
+    for quantile in (0.9, 0.5, 0.25):
+        sampler = RejectionSampler(graph.positions, reference_quantile=quantile)
+        rows.append(
+            [
+                quantile,
+                f"{sampler.total_variation_from_uniform():.4f}",
+                f"{sampler.expected_proposals():.2f}",
+            ]
+        )
+    raw = RejectionSampler(graph.positions, reference_quantile=1.0)
+    uniform = np.full(n, 1.0 / n)
+    tv_raw = 0.5 * np.abs(raw.areas - uniform).sum()
+    print(
+        format_table(
+            ["ref. quantile", "TV from uniform", "E[proposals]"],
+            rows,
+            title=f"(no rejection at all: TV = {tv_raw:.4f})",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

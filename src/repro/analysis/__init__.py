@@ -1,0 +1,74 @@
+"""Analysis toolkit: every quantitative claim in the paper, computable.
+
+* :mod:`repro.analysis.lemma1` — the exact expected update matrix
+  ``E[AᵀA]`` of the affine dynamics and its spectral contraction factor,
+  against the paper's ``1 − 1/(2n)`` and ``1 − 8/(9(n−1))`` bounds.
+* :mod:`repro.analysis.lemma2` — the perturbed-dynamics deviation bound
+  and its failure probability ``5/nᵃ``.
+* :mod:`repro.analysis.occupancy` — Chernoff occupancy concentration for
+  the hierarchy's squares (the paper's ``|#(□)·√n/n − 1| < 1/10`` w.h.p.).
+* :mod:`repro.analysis.mixing` — random-walk spectral gaps and averaging
+  times (the Boyd et al. ``Θ(n·T_mix)`` link).
+* :mod:`repro.analysis.theory` — closed-form transmission-cost predictions
+  for all three algorithms (used to extrapolate beyond simulable ``n``).
+"""
+
+from repro.analysis.lemma1 import (
+    contraction_factor,
+    expected_update_matrix,
+    monte_carlo_expected_matrix,
+    paper_loose_bound,
+    paper_tight_bound,
+    verify_lemma1,
+)
+from repro.analysis.lemma2 import (
+    lemma2_bound,
+    lemma2_failure_probability,
+    lemma2_empirical_exceedance,
+)
+from repro.analysis.mixing import (
+    averaging_time_bound,
+    gossip_averaging_matrix,
+    random_walk_matrix,
+    second_eigenvalue,
+    spectral_gap,
+)
+from repro.analysis.occupancy import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    max_occupancy_deviation,
+    occupancy_deviation_bound,
+    paper_occupancy_condition,
+)
+from repro.analysis.theory import (
+    geographic_gossip_prediction,
+    hierarchical_prediction,
+    paper_headline_form,
+    randomized_gossip_prediction,
+)
+
+__all__ = [
+    "averaging_time_bound",
+    "chernoff_lower_tail",
+    "chernoff_upper_tail",
+    "contraction_factor",
+    "expected_update_matrix",
+    "geographic_gossip_prediction",
+    "gossip_averaging_matrix",
+    "hierarchical_prediction",
+    "lemma2_bound",
+    "lemma2_empirical_exceedance",
+    "lemma2_failure_probability",
+    "max_occupancy_deviation",
+    "monte_carlo_expected_matrix",
+    "occupancy_deviation_bound",
+    "paper_headline_form",
+    "paper_loose_bound",
+    "paper_occupancy_condition",
+    "paper_tight_bound",
+    "random_walk_matrix",
+    "randomized_gossip_prediction",
+    "second_eigenvalue",
+    "spectral_gap",
+    "verify_lemma1",
+]

@@ -1,0 +1,107 @@
+"""Random-walk mixing and gossip averaging times.
+
+Boyd et al. (the paper's [1]) tie randomized gossip's cost to mixing: the
+number of transmissions is ``Θ(n·T_mix(G))``, and the ε-averaging time in
+clock ticks is governed by the second-largest eigenvalue of the expected
+averaging matrix ``W̄``:
+
+    T_ave(ε) = Θ( log(1/ε) / log(1/λ₂(W̄)) ).
+
+On a geometric random graph at the connectivity radius the spectral gap is
+``Θ(r²) = Θ(log n / n)``, which is where randomized gossip's ``Õ(n²)``
+comes from and what geographic gossip routes around.  Experiment E12
+measures all three quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "random_walk_matrix",
+    "gossip_averaging_matrix",
+    "second_eigenvalue",
+    "spectral_gap",
+    "averaging_time_bound",
+]
+
+
+def random_walk_matrix(neighbors: Sequence[np.ndarray]) -> np.ndarray:
+    """The natural random walk ``P[i, j] = 1/deg(i)`` (rows of isolated
+    nodes get a self-loop so the matrix stays stochastic)."""
+    n = len(neighbors)
+    if n == 0:
+        raise ValueError("empty graph")
+    matrix = np.zeros((n, n))
+    for i, adjacency in enumerate(neighbors):
+        if adjacency.size == 0:
+            matrix[i, i] = 1.0
+        else:
+            matrix[i, adjacency] = 1.0 / adjacency.size
+    return matrix
+
+
+def gossip_averaging_matrix(neighbors: Sequence[np.ndarray]) -> np.ndarray:
+    """Expected one-tick averaging matrix ``W̄`` of randomized gossip.
+
+    When node ``i`` ticks (probability 1/n) it averages with a uniform
+    neighbour ``j``; the realised matrix is
+    ``W_ij = I − (e_i − e_j)(e_i − e_j)ᵀ/2``.  ``W̄`` is the expectation
+    over both choices (Boyd et al., eq. (3)-(5)).
+    """
+    n = len(neighbors)
+    if n == 0:
+        raise ValueError("empty graph")
+    matrix = np.eye(n)
+    for i, adjacency in enumerate(neighbors):
+        if adjacency.size == 0:
+            continue
+        for j in adjacency:
+            weight = 1.0 / (n * adjacency.size)
+            j = int(j)
+            # subtract weight * (e_i - e_j)(e_i - e_j)^T / 2
+            matrix[i, i] -= weight / 2.0
+            matrix[j, j] -= weight / 2.0
+            matrix[i, j] += weight / 2.0
+            matrix[j, i] += weight / 2.0
+    return matrix
+
+
+def second_eigenvalue(matrix: np.ndarray) -> float:
+    """Second-largest eigenvalue modulus, excluding the top (Perron) one.
+
+    Works for the symmetric ``W̄`` exactly; for the (generally
+    non-symmetric) random-walk matrix it uses the full spectrum.
+    """
+    if matrix.shape[0] < 2:
+        raise ValueError("need at least a 2x2 matrix")
+    if np.allclose(matrix, matrix.T):
+        eigenvalues = np.abs(np.linalg.eigvalsh(matrix))
+    else:
+        eigenvalues = np.abs(np.linalg.eigvals(matrix))
+    eigenvalues.sort()
+    return float(eigenvalues[-2])
+
+
+def spectral_gap(neighbors: Sequence[np.ndarray]) -> float:
+    """``1 − λ₂(W̄)`` for randomized gossip on this topology."""
+    return 1.0 - second_eigenvalue(gossip_averaging_matrix(neighbors))
+
+
+def averaging_time_bound(
+    neighbors: Sequence[np.ndarray], epsilon: float
+) -> float:
+    """Boyd et al.'s tick bound ``3·log(1/ε) / log(1/λ₂(W̄))``.
+
+    Transmissions are twice this (each exchange costs two sends) — the
+    quantity experiment E12 compares against measured runs.
+    """
+    if epsilon <= 0 or epsilon >= 1:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    lam = second_eigenvalue(gossip_averaging_matrix(neighbors))
+    if lam >= 1.0:
+        return math.inf  # disconnected: never averages
+    return 3.0 * math.log(1.0 / epsilon) / math.log(1.0 / lam)

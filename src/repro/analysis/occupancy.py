@@ -1,0 +1,105 @@
+"""Occupancy concentration for the hierarchy's squares.
+
+Section 3 of the paper: "An application of the Chernoff Bound tells us that
+``(∀i) |#(□_i)·√n/n − 1| < 1/10`` w.h.p." — with ``~√n`` squares each of
+expected occupancy ``~√n``.  This concentration is what keeps the induced
+sum-coefficients ``α_i = (2/5)·E#/#`` inside Lemma 1's ``(1/3, 1/2)``
+interval, and its *failure* at small expected occupancies is what
+experiment E10 demonstrates.
+
+Occupancy of a fixed square with area fraction ``p`` is Binomial(n, p);
+the bounds here are the standard multiplicative Chernoff tails.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.squares import GridPartition, Square, UNIT_SQUARE
+
+__all__ = [
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "occupancy_deviation_bound",
+    "max_occupancy_deviation",
+    "paper_occupancy_condition",
+]
+
+
+def chernoff_upper_tail(mean: float, deviation: float) -> float:
+    """``P(X ≥ (1+δ)μ) ≤ exp(−μδ²/(2+δ))`` for Binomial/Poisson ``X``."""
+    if mean <= 0:
+        raise ValueError(f"mean must be positive, got {mean}")
+    if deviation < 0:
+        raise ValueError(f"deviation must be non-negative, got {deviation}")
+    return math.exp(-mean * deviation**2 / (2.0 + deviation))
+
+
+def chernoff_lower_tail(mean: float, deviation: float) -> float:
+    """``P(X ≤ (1−δ)μ) ≤ exp(−μδ²/2)``."""
+    if mean <= 0:
+        raise ValueError(f"mean must be positive, got {mean}")
+    if not 0 <= deviation <= 1:
+        raise ValueError(f"lower-tail deviation must lie in [0, 1], got {deviation}")
+    return math.exp(-mean * deviation**2 / 2.0)
+
+
+def occupancy_deviation_bound(
+    expected: float, squares: int, failure_probability: float
+) -> float:
+    """Smallest ``δ`` with ``P(∃ square: |#/E# − 1| ≥ δ) ≤ failure_probability``.
+
+    Union bound over ``squares`` squares with two-sided Chernoff tails
+    (using the looser ``exp(−μδ²/3)`` valid for δ ≤ 1 on both sides):
+    ``δ = sqrt(3·ln(2·squares/failure)/E#)``.
+    """
+    if expected <= 0 or squares <= 0:
+        raise ValueError("expected occupancy and square count must be positive")
+    if not 0 < failure_probability < 1:
+        raise ValueError(
+            f"failure probability must lie in (0, 1), got {failure_probability}"
+        )
+    return math.sqrt(3.0 * math.log(2.0 * squares / failure_probability) / expected)
+
+
+def max_occupancy_deviation(
+    positions: np.ndarray, cells_per_axis: int, region: Square = UNIT_SQUARE
+) -> float:
+    """Measured ``max_i |#(□_i)/E#(□_i) − 1|`` over a ``k × k`` partition."""
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError(f"positions must have shape (n, 2), got {positions.shape}")
+    if cells_per_axis <= 0:
+        raise ValueError(f"cells_per_axis must be positive, got {cells_per_axis}")
+    partition = GridPartition(region, cells_per_axis)
+    counts = np.bincount(
+        partition.cell_indices(positions), minlength=len(partition)
+    )
+    expected = len(positions) / len(partition)
+    return float(np.abs(counts / expected - 1.0).max())
+
+
+def paper_occupancy_condition(positions: np.ndarray) -> dict[str, float | bool]:
+    """The paper's §3 statement for the top-level ``~√n`` partition.
+
+    Partitions the unit square into the nearest-even-square-to-``√n`` cells
+    (the hierarchy's first level) and checks
+    ``max_i |#(□_i)·n₁/n − 1| < 1/10``.
+    """
+    from repro.hierarchy.subdivision import nearest_even_square
+
+    n = len(positions)
+    if n < 4:
+        raise ValueError(f"need at least 4 sensors, got {n}")
+    n1 = nearest_even_square(math.sqrt(n))
+    k = int(round(math.sqrt(n1)))
+    deviation = max_occupancy_deviation(positions, k)
+    return {
+        "n": n,
+        "squares": n1,
+        "expected_per_square": n / n1,
+        "max_deviation": deviation,
+        "paper_condition_holds": bool(deviation < 0.1),
+    }

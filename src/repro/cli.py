@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows without writing any code:
+
+* ``run``      — one algorithm, one field, one graph; prints the outcome
+  and an ASCII view of the field before/after.
+* ``sweep``    — the scaling sweep (experiment E7) at chosen sizes.
+* ``inspect``  — build and display the hierarchy for a placement.
+
+Examples::
+
+    python -m repro run --algorithm hierarchical --n 512 --epsilon 0.15
+    python -m repro sweep --sizes 128,256,512 --epsilon 0.2 --trials 2
+    python -m repro inspect --n 1024 --leaf-threshold 24
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.experiments import (
+    ALGORITHMS,
+    ExperimentConfig,
+    fit_loglog_slope,
+    format_table,
+    make_algorithm,
+    run_scaling_sweep,
+    spawn_rng,
+)
+from repro.graphs.rgg import RandomGeometricGraph
+from repro.hierarchy.tree import HierarchyTree
+from repro.viz import render_field, render_hierarchy
+from repro.workloads.fields import FIELD_GENERATORS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Geographic gossip via affine combinations — reproduction CLI"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one algorithm on one instance")
+    run.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="hierarchical",
+    )
+    run.add_argument("--n", type=int, default=512)
+    run.add_argument("--epsilon", type=float, default=0.2)
+    run.add_argument(
+        "--field", choices=sorted(FIELD_GENERATORS), default="random"
+    )
+    run.add_argument("--seed", type=int, default=20070801)
+    run.add_argument(
+        "--show-field", action="store_true", help="ASCII field before/after"
+    )
+
+    sweep = sub.add_parser("sweep", help="scaling sweep (experiment E7)")
+    sweep.add_argument("--sizes", default="128,256,512")
+    sweep.add_argument("--epsilon", type=float, default=0.2)
+    sweep.add_argument("--trials", type=int, default=2)
+    sweep.add_argument(
+        "--field", choices=sorted(FIELD_GENERATORS), default="gradient"
+    )
+    sweep.add_argument("--seed", type=int, default=20070801)
+    sweep.add_argument(
+        "--algorithms", default="randomized,geographic,hierarchical"
+    )
+
+    inspect = sub.add_parser("inspect", help="build and display a hierarchy")
+    inspect.add_argument("--n", type=int, default=1024)
+    inspect.add_argument("--leaf-threshold", type=float, default=None)
+    inspect.add_argument("--seed", type=int, default=20070801)
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    rng = spawn_rng(args.seed, "cli-graph", args.n)
+    graph = RandomGeometricGraph.sample_connected(args.n, rng)
+    field_rng = spawn_rng(args.seed, "cli-field", args.field)
+    values = FIELD_GENERATORS[args.field](graph.positions, field_rng)
+    if args.show_field:
+        print("initial field:")
+        print(render_field(graph.positions, values))
+    algorithm = make_algorithm(args.algorithm, graph)
+    result = algorithm.run(
+        values, args.epsilon, spawn_rng(args.seed, "cli-run", args.algorithm)
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["algorithm", args.algorithm],
+                ["n", args.n],
+                ["converged", result.converged],
+                ["final error", result.error],
+                ["transmissions", result.total_transmissions],
+                *[
+                    [f"  {cat}", count]
+                    for cat, count in sorted(result.transmissions.items())
+                    if cat != "total"
+                ],
+            ],
+            title=f"run to ε={args.epsilon} on a '{args.field}' field",
+        )
+    )
+    if args.show_field:
+        print("\nfinal field:")
+        print(render_field(graph.positions, result.values))
+    return 0 if result.converged else 1
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+    algorithms = tuple(a.strip() for a in args.algorithms.split(","))
+    config = ExperimentConfig(
+        sizes=sizes,
+        epsilon=args.epsilon,
+        trials=args.trials,
+        field=args.field,
+        root_seed=args.seed,
+        algorithms=algorithms,
+    )
+    sweep = run_scaling_sweep(config)
+    rows = []
+    for n in sizes:
+        row = [n]
+        for name in algorithms:
+            point = next(p for p in sweep[name] if p.n == n)
+            row.append(int(point.transmissions_mean))
+        rows.append(row)
+    print(
+        format_table(
+            ["n", *algorithms],
+            rows,
+            title=f"mean transmissions to ε={args.epsilon} ({args.trials} trials)",
+        )
+    )
+    if len(sizes) >= 2:
+        slopes = []
+        for name in algorithms:
+            points = sweep[name]
+            slopes.append(
+                [
+                    name,
+                    fit_loglog_slope(
+                        np.array([p.n for p in points], dtype=float),
+                        np.array([p.transmissions_mean for p in points]),
+                    ),
+                ]
+            )
+        print()
+        print(format_table(["algorithm", "log-log slope"], slopes))
+    return 0
+
+
+def _command_inspect(args: argparse.Namespace) -> int:
+    rng = spawn_rng(args.seed, "cli-inspect", args.n)
+    graph = RandomGeometricGraph.sample_connected(args.n, rng)
+    tree = HierarchyTree.build(
+        graph.positions, leaf_threshold=args.leaf_threshold
+    )
+    print(
+        format_table(
+            ["depth", "squares", "E#", "min #", "mean #", "max #", "empty"],
+            [
+                [
+                    r["depth"],
+                    r["squares"],
+                    r["expected"],
+                    r["min"],
+                    r["mean"],
+                    r["max"],
+                    r["empty"],
+                ]
+                for r in tree.occupancy_report()
+            ],
+            title=(
+                f"hierarchy at n={args.n}: factors {tree.factors}, "
+                f"ℓ={tree.levels}"
+            ),
+        )
+    )
+    print()
+    print(render_hierarchy(tree))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "sweep": _command_sweep,
+        "inspect": _command_inspect,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""The paper's asynchronous time model (Section 2).
+
+Each sensor has an independent rate-1 Poisson clock; equivalently a single
+global rate-``n`` Poisson clock whose ticks are assigned to nodes uniformly
+at random.  :class:`~repro.clocks.poisson.GlobalClock` implements the global
+view used by the simulators; :class:`~repro.clocks.poisson.PoissonClock` the
+per-node view; :func:`~repro.clocks.poisson.merge_ticks` demonstrates (and
+the tests verify) the equivalence between the two.
+"""
+
+from repro.clocks.poisson import GlobalClock, PoissonClock, Tick, merge_ticks
+
+__all__ = ["GlobalClock", "PoissonClock", "Tick", "merge_ticks"]

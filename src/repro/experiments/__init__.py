@@ -1,0 +1,45 @@
+"""Experiment harness: configs, runners, sweeps, and ASCII tables.
+
+Every benchmark in ``benchmarks/`` is a thin wrapper over this package so
+that experiments are reproducible from library code alone:
+
+* :mod:`repro.experiments.config` — experiment configuration dataclasses
+  and the algorithm registry.
+* :mod:`repro.experiments.runner` — convergence runs, n-sweeps, slope
+  fitting, trial aggregation.
+* :mod:`repro.experiments.tables` — fixed-width table rendering for
+  paper-vs-measured rows.
+* :mod:`repro.experiments.seeds` — deterministic seed derivation.
+"""
+
+from repro.experiments.config import (
+    ALGORITHMS,
+    ExperimentConfig,
+    make_algorithm,
+)
+from repro.experiments.runner import (
+    ConvergenceRun,
+    ScalingPoint,
+    aggregate_trials,
+    fit_loglog_slope,
+    run_convergence,
+    run_scaling_sweep,
+)
+from repro.experiments.seeds import derive_seed, spawn_rng
+from repro.experiments.tables import format_table, format_value
+
+__all__ = [
+    "ALGORITHMS",
+    "ConvergenceRun",
+    "ExperimentConfig",
+    "ScalingPoint",
+    "aggregate_trials",
+    "derive_seed",
+    "fit_loglog_slope",
+    "format_table",
+    "format_value",
+    "make_algorithm",
+    "run_convergence",
+    "run_scaling_sweep",
+    "spawn_rng",
+]

@@ -1,0 +1,103 @@
+"""Experiment configuration and the algorithm registry.
+
+``ALGORITHMS`` maps the three contenders of the paper's story to factory
+functions ``graph -> algorithm``; the registry keeps benchmark code free of
+constructor details and makes "run all three on the same graph and field"
+one loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.gossip.geographic import GeographicGossip
+from repro.gossip.hierarchical.rounds import HierarchicalGossip
+from repro.gossip.randomized import RandomizedGossip
+from repro.graphs.rgg import RandomGeometricGraph
+
+__all__ = ["ALGORITHMS", "make_algorithm", "ExperimentConfig"]
+
+
+def _make_randomized(graph: RandomGeometricGraph):
+    return RandomizedGossip(graph.neighbors)
+
+
+def _make_geographic(graph: RandomGeometricGraph):
+    return GeographicGossip(graph)
+
+
+def _make_hierarchical(graph: RandomGeometricGraph):
+    return HierarchicalGossip(graph)
+
+
+def _make_spatial(graph: RandomGeometricGraph):
+    from repro.gossip.spatial import SpatialGossip
+
+    return SpatialGossip(graph, rho=2.0)
+
+
+#: name → factory(graph); the paper's three contenders plus the spatial
+#: gossip baseline of its related work (E15).
+ALGORITHMS: dict[str, Callable[[RandomGeometricGraph], object]] = {
+    "randomized": _make_randomized,
+    "geographic": _make_geographic,
+    "hierarchical": _make_hierarchical,
+    "spatial": _make_spatial,
+}
+
+
+def make_algorithm(name: str, graph: RandomGeometricGraph):
+    """Instantiate a registered algorithm on ``graph``."""
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {name!r}; registered: {sorted(ALGORITHMS)}"
+        ) from None
+    return factory(graph)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared experiment knobs.
+
+    Attributes
+    ----------
+    sizes:
+        Network sizes for scaling sweeps.
+    epsilon:
+        Target normalized error (paper's ε); scaling claims are about the
+        dependence on ``n`` at fixed ε.
+    trials:
+        Independent placements/fields per point.
+    radius_constant:
+        ``r = sqrt(radius_constant · log n / n)``.
+    field:
+        Workload name from :data:`repro.workloads.FIELD_GENERATORS`.
+    root_seed:
+        Root of all derived randomness.
+    algorithms:
+        Names from :data:`ALGORITHMS` to include.
+    """
+
+    sizes: tuple[int, ...] = (128, 256, 512, 1024)
+    epsilon: float = 0.25
+    trials: int = 3
+    radius_constant: float = 2.0
+    field: str = "random"
+    root_seed: int = 20070801  # PODC 2007
+    algorithms: tuple[str, ...] = ("randomized", "geographic", "hierarchical")
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ValueError("need at least one network size")
+        if any(n < 8 for n in self.sizes):
+            raise ValueError(f"sizes must be >= 8, got {self.sizes}")
+        if not 0 < self.epsilon < 1:
+            raise ValueError(f"epsilon must lie in (0, 1), got {self.epsilon}")
+        if self.trials <= 0:
+            raise ValueError(f"trials must be positive, got {self.trials}")
+        unknown = set(self.algorithms) - set(ALGORITHMS)
+        if unknown:
+            raise ValueError(f"unknown algorithms: {sorted(unknown)}")

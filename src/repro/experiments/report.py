@@ -1,0 +1,116 @@
+"""Result serialisation: JSON and Markdown reports for sweeps.
+
+The benchmark harness prints ASCII tables; downstream tooling (CI trend
+tracking, notebooks) wants structured output.  This module converts
+sweep results to plain dictionaries, renders a Markdown summary, and
+round-trips through JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ScalingPoint, fit_loglog_slope
+
+__all__ = ["sweep_to_dict", "sweep_from_dict", "render_markdown", "save_json"]
+
+
+def sweep_to_dict(
+    config: ExperimentConfig,
+    sweep: Mapping[str, Sequence[ScalingPoint]],
+) -> dict:
+    """A JSON-serialisable record of a scaling sweep."""
+    return {
+        "config": {
+            "sizes": list(config.sizes),
+            "epsilon": config.epsilon,
+            "trials": config.trials,
+            "radius_constant": config.radius_constant,
+            "field": config.field,
+            "root_seed": config.root_seed,
+            "algorithms": list(config.algorithms),
+        },
+        "points": {
+            name: [
+                {
+                    "n": point.n,
+                    "transmissions_mean": point.transmissions_mean,
+                    "transmissions_std": point.transmissions_std,
+                    "converged_fraction": point.converged_fraction,
+                    "trials": point.trials,
+                }
+                for point in points
+            ]
+            for name, points in sweep.items()
+        },
+    }
+
+
+def sweep_from_dict(payload: Mapping) -> dict[str, list[ScalingPoint]]:
+    """Inverse of :func:`sweep_to_dict` (points only)."""
+    return {
+        name: [
+            ScalingPoint(
+                algorithm=name,
+                n=int(entry["n"]),
+                transmissions_mean=float(entry["transmissions_mean"]),
+                transmissions_std=float(entry["transmissions_std"]),
+                converged_fraction=float(entry["converged_fraction"]),
+                trials=int(entry["trials"]),
+            )
+            for entry in entries
+        ]
+        for name, entries in payload["points"].items()
+    }
+
+
+def render_markdown(
+    config: ExperimentConfig,
+    sweep: Mapping[str, Sequence[ScalingPoint]],
+) -> str:
+    """A compact Markdown report: per-size costs plus fitted slopes."""
+    names = [name for name in config.algorithms if name in sweep]
+    lines = [
+        f"## Scaling sweep (ε = {config.epsilon}, field = {config.field}, "
+        f"{config.trials} trials)",
+        "",
+        "| n | " + " | ".join(names) + " |",
+        "|---|" + "|".join(["---"] * len(names)) + "|",
+    ]
+    for n in config.sizes:
+        cells = []
+        for name in names:
+            point = next((p for p in sweep[name] if p.n == n), None)
+            cells.append(
+                f"{point.transmissions_mean:,.0f}" if point else "—"
+            )
+        lines.append(f"| {n} | " + " | ".join(cells) + " |")
+    lines.append("")
+    lines.append("| algorithm | fitted log-log slope |")
+    lines.append("|---|---|")
+    for name in names:
+        points = sweep[name]
+        if len(points) >= 2:
+            slope = fit_loglog_slope(
+                np.array([p.n for p in points], dtype=float),
+                np.array([p.transmissions_mean for p in points]),
+            )
+            lines.append(f"| {name} | {slope:.3f} |")
+        else:
+            lines.append(f"| {name} | n/a |")
+    return "\n".join(lines)
+
+
+def save_json(
+    path: str,
+    config: ExperimentConfig,
+    sweep: Mapping[str, Sequence[ScalingPoint]],
+) -> None:
+    """Write the sweep record to ``path`` as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(sweep_to_dict(config, sweep), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,138 @@
+"""Experiment runners: convergence runs, scaling sweeps, slope fits.
+
+The scaling sweep is the headline (experiment E7): for each ``n`` and each
+algorithm, run to the target ε on the same placement and field, record
+transmissions, and fit per-algorithm log-log slopes — the paper's claimed
+exponents are ≈2 (randomized), ≈1.5 (geographic), ≈1+o(1) (hierarchical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig, make_algorithm
+from repro.experiments.seeds import spawn_rng
+from repro.gossip.base import GossipRunResult
+from repro.graphs.rgg import RandomGeometricGraph
+from repro.workloads.fields import FIELD_GENERATORS
+
+__all__ = [
+    "ConvergenceRun",
+    "ScalingPoint",
+    "run_convergence",
+    "run_scaling_sweep",
+    "aggregate_trials",
+    "fit_loglog_slope",
+]
+
+
+@dataclass
+class ConvergenceRun:
+    """One algorithm's run on one placement/field."""
+
+    algorithm: str
+    n: int
+    trial: int
+    result: GossipRunResult
+
+    @property
+    def transmissions(self) -> int:
+        return self.result.total_transmissions
+
+    @property
+    def converged(self) -> bool:
+        return self.result.converged
+
+
+@dataclass
+class ScalingPoint:
+    """Aggregated transmissions for one (algorithm, n) cell."""
+
+    algorithm: str
+    n: int
+    transmissions_mean: float
+    transmissions_std: float
+    converged_fraction: float
+    trials: int
+
+
+def _build_instance(config: ExperimentConfig, n: int, trial: int):
+    """Placement, graph and field shared by all algorithms of one trial."""
+    graph_rng = spawn_rng(config.root_seed, "graph", n, trial)
+    graph = RandomGeometricGraph.sample_connected(
+        n, graph_rng, radius_constant=config.radius_constant
+    )
+    field_rng = spawn_rng(config.root_seed, "field", config.field, n, trial)
+    values = FIELD_GENERATORS[config.field](graph.positions, field_rng)
+    return graph, values
+
+
+def run_convergence(
+    config: ExperimentConfig,
+    n: int,
+    trial: int = 0,
+    trace_thinning: float = 0.02,
+) -> list[ConvergenceRun]:
+    """Run every configured algorithm on one shared placement and field."""
+    graph, values = _build_instance(config, n, trial)
+    runs = []
+    for name in config.algorithms:
+        algorithm = make_algorithm(name, graph)
+        run_rng = spawn_rng(config.root_seed, "run", name, n, trial)
+        result = algorithm.run(
+            values, config.epsilon, run_rng, trace_thinning=trace_thinning
+        )
+        runs.append(ConvergenceRun(algorithm=name, n=n, trial=trial, result=result))
+    return runs
+
+
+def run_scaling_sweep(config: ExperimentConfig) -> dict[str, list[ScalingPoint]]:
+    """The E7 sweep: transmissions-to-ε for every algorithm and size."""
+    by_algorithm: dict[str, list[ScalingPoint]] = {
+        name: [] for name in config.algorithms
+    }
+    for n in config.sizes:
+        trials: dict[str, list[GossipRunResult]] = {
+            name: [] for name in config.algorithms
+        }
+        for trial in range(config.trials):
+            for run in run_convergence(config, n, trial):
+                trials[run.algorithm].append(run.result)
+        for name, results in trials.items():
+            by_algorithm[name].append(aggregate_trials(name, n, results))
+    return by_algorithm
+
+
+def aggregate_trials(
+    algorithm: str, n: int, results: list[GossipRunResult]
+) -> ScalingPoint:
+    """Mean/std of transmissions over a point's trials."""
+    if not results:
+        raise ValueError("need at least one result to aggregate")
+    counts = np.array([r.total_transmissions for r in results], dtype=np.float64)
+    return ScalingPoint(
+        algorithm=algorithm,
+        n=n,
+        transmissions_mean=float(counts.mean()),
+        transmissions_std=float(counts.std()),
+        converged_fraction=float(np.mean([r.converged for r in results])),
+        trials=len(results),
+    )
+
+
+def fit_loglog_slope(sizes: np.ndarray, costs: np.ndarray) -> float:
+    """Least-squares slope of ``log(cost)`` against ``log(n)``.
+
+    This is the measured exponent: the paper claims ≈2 / ≈1.5 / ≈1+o(1)
+    for the three algorithms.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    costs = np.asarray(costs, dtype=np.float64)
+    if sizes.size != costs.size or sizes.size < 2:
+        raise ValueError("need matching arrays of at least two points")
+    if (sizes <= 0).any() or (costs <= 0).any():
+        raise ValueError("sizes and costs must be positive for a log-log fit")
+    slope = np.polyfit(np.log(sizes), np.log(costs), deg=1)[0]
+    return float(slope)

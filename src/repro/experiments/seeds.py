@@ -1,0 +1,31 @@
+"""Deterministic seed derivation.
+
+Experiments need many independent RNG streams (per algorithm, per trial,
+per n) that are stable across runs and machines.  Seeds derive from a root
+seed plus a string tag via ``numpy``'s SeedSequence entropy spawning.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "spawn_rng"]
+
+
+def derive_seed(root_seed: int, *tags: object) -> int:
+    """A stable 32-bit seed from a root seed and any hashable tags.
+
+    Tags are rendered to text and CRC-mixed, so
+    ``derive_seed(7, "boyd", 1024, 3)`` is reproducible everywhere.
+    """
+    if root_seed < 0:
+        raise ValueError(f"root seed must be non-negative, got {root_seed}")
+    text = ":".join([str(root_seed)] + [repr(tag) for tag in tags])
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def spawn_rng(root_seed: int, *tags: object) -> np.random.Generator:
+    """A fresh :class:`numpy.random.Generator` for the given tag path."""
+    return np.random.default_rng(derive_seed(root_seed, *tags))

@@ -1,0 +1,68 @@
+"""Fixed-width ASCII tables for benchmark output.
+
+Benchmarks print paper-shaped rows ("who wins, by what factor, where the
+crossovers fall"); this module renders them without any dependency on
+plotting or terminal libraries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_value", "format_table"]
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Human-friendly rendering of one cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 10 ** (-precision):
+            return f"{value:.{precision}e}"
+        return f"{value:,.{precision}g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render a fixed-width table with a rule under the header.
+
+    >>> print(format_table(["n", "cost"], [[10, 1.5], [20, 3.25]]))
+     n | cost
+    ---+-----
+    10 | 1.5
+    20 | 3.25
+    """
+    if not headers:
+        raise ValueError("need at least one column")
+    rendered = [[format_value(cell, precision) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[c])), *(len(r[c]) for r in rendered), 1)
+        if rendered
+        else len(str(headers[c]))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Planar geometry primitives for the unit-square sensor field.
+
+Everything spatial in the reproduction — geometric random graphs, greedy
+geographic routing, the recursive square hierarchy — is built on the small
+set of primitives defined here:
+
+* distance helpers over ``(n, 2)`` coordinate arrays (:mod:`repro.geometry.points`),
+* axis-aligned :class:`~repro.geometry.squares.Square` regions with
+  containment/subdivision, and
+* :class:`~repro.geometry.squares.GridPartition`, a ``k × k`` equal split of a
+  square used both by the paper's hierarchy and by the spatial hash grid.
+"""
+
+from repro.geometry.points import (
+    distance_matrix,
+    euclidean_distance,
+    pairwise_within,
+    random_points,
+    squared_distances_to,
+    torus_distance,
+)
+from repro.geometry.squares import GridPartition, Square, UNIT_SQUARE
+
+__all__ = [
+    "GridPartition",
+    "Square",
+    "UNIT_SQUARE",
+    "distance_matrix",
+    "euclidean_distance",
+    "pairwise_within",
+    "random_points",
+    "squared_distances_to",
+    "torus_distance",
+]

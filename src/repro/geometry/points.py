@@ -1,0 +1,90 @@
+"""Coordinate-array helpers.
+
+All positions in the library are ``float64`` arrays of shape ``(n, 2)`` with
+coordinates in the unit square ``[0, 1]²`` (the paper's sensor field).  The
+helpers here are deliberately thin wrappers over NumPy so that geometric code
+elsewhere reads as prose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "random_points",
+    "euclidean_distance",
+    "torus_distance",
+    "squared_distances_to",
+    "distance_matrix",
+    "pairwise_within",
+]
+
+
+def random_points(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``n`` i.i.d. uniform points from the unit square.
+
+    This is the paper's placement model: "Let v1, ..., vn be n points
+    independently chosen uniformly at random from a unit square in R^2".
+
+    Parameters
+    ----------
+    n:
+        Number of points; must be positive.
+    rng:
+        NumPy random generator (the library never uses global RNG state).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(n, 2)``.
+    """
+    if n <= 0:
+        raise ValueError(f"need a positive number of points, got {n}")
+    return rng.random((n, 2))
+
+
+def euclidean_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Euclidean distance between two points ``p`` and ``q``."""
+    return float(np.hypot(p[0] - q[0], p[1] - q[1]))
+
+
+def torus_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Distance between ``p`` and ``q`` on the unit torus.
+
+    The torus metric removes boundary effects; it is offered as a variant
+    placement model for sensitivity studies (the paper uses the square).
+    """
+    delta = np.abs(np.asarray(p) - np.asarray(q))
+    delta = np.minimum(delta, 1.0 - delta)
+    return float(np.hypot(delta[0], delta[1]))
+
+
+def squared_distances_to(points: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances from each row of ``points`` to ``target``.
+
+    Squared distances avoid the square root in hot loops (greedy routing
+    compares distances, and comparison is monotone in the square).
+    """
+    diff = points - target
+    return diff[:, 0] ** 2 + diff[:, 1] ** 2
+
+
+def distance_matrix(points: np.ndarray) -> np.ndarray:
+    """Dense ``(n, n)`` Euclidean distance matrix.
+
+    Only suitable for small ``n`` (tests and spectral analysis); the graph
+    construction proper uses the cell grid in :mod:`repro.graphs.cellgrid`.
+    """
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+def pairwise_within(points: np.ndarray, radius: float) -> np.ndarray:
+    """Boolean ``(n, n)`` adjacency mask: ``True`` where distance ≤ radius.
+
+    The diagonal is ``False`` (no self loops).  Quadratic; test-sized inputs
+    only.
+    """
+    mask = distance_matrix(points) <= radius
+    np.fill_diagonal(mask, False)
+    return mask

@@ -1,0 +1,185 @@
+"""Axis-aligned squares and their regular grid partitions.
+
+The paper's hierarchy partitions the unit square into ``k × k`` equal
+subsquares recursively (Section 4.1).  :class:`Square` models one region;
+:class:`GridPartition` models one level of that split and answers "which
+subsquare contains this point?" in O(1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Square", "GridPartition", "UNIT_SQUARE"]
+
+
+@dataclass(frozen=True)
+class Square:
+    """An axis-aligned square region ``[x0, x0+side] × [y0, y0+side]``.
+
+    Containment uses half-open semantics on the lower/left edges except at
+    the global upper boundary, so every point of the unit square belongs to
+    exactly one subsquare of a partition.
+    """
+
+    x0: float
+    y0: float
+    side: float
+
+    def __post_init__(self) -> None:
+        if self.side <= 0:
+            raise ValueError(f"square side must be positive, got {self.side}")
+
+    @property
+    def center(self) -> np.ndarray:
+        """Centre point of the square (used to elect supernodes ``s(□)``)."""
+        half = self.side / 2.0
+        return np.array([self.x0 + half, self.y0 + half])
+
+    @property
+    def x1(self) -> float:
+        return self.x0 + self.side
+
+    @property
+    def y1(self) -> float:
+        return self.y0 + self.side
+
+    @property
+    def area(self) -> float:
+        return self.side * self.side
+
+    @property
+    def diameter(self) -> float:
+        """Length of the square's diagonal."""
+        return self.side * math.sqrt(2.0)
+
+    def contains(self, point: np.ndarray) -> bool:
+        """Whether ``point`` lies in this square (closed on all edges).
+
+        A relative tolerance of ``1e-9·side`` absorbs the floating-point
+        drift of grid-cell coordinates (``x0 + k·side`` need not hit the
+        parent's far edge exactly).
+        """
+        x, y = float(point[0]), float(point[1])
+        tol = 1e-9 * self.side
+        return (
+            self.x0 - tol <= x <= self.x1 + tol
+            and self.y0 - tol <= y <= self.y1 + tol
+        )
+
+    def contains_mask(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised closed-containment test for an ``(n, 2)`` array."""
+        x, y = points[:, 0], points[:, 1]
+        tol = 1e-9 * self.side
+        return (
+            (x >= self.x0 - tol)
+            & (x <= self.x1 + tol)
+            & (y >= self.y0 - tol)
+            & (y <= self.y1 + tol)
+        )
+
+    def subdivide(self, k: int) -> list["Square"]:
+        """Split into ``k × k`` equal subsquares, row-major from bottom-left."""
+        if k <= 0:
+            raise ValueError(f"subdivision factor must be positive, got {k}")
+        child_side = self.side / k
+        return [
+            Square(self.x0 + col * child_side, self.y0 + row * child_side, child_side)
+            for row in range(k)
+            for col in range(k)
+        ]
+
+    def sample_point(self, rng: np.random.Generator) -> np.ndarray:
+        """Uniform random point inside the square."""
+        return np.array(
+            [
+                self.x0 + rng.random() * self.side,
+                self.y0 + rng.random() * self.side,
+            ]
+        )
+
+
+#: The sensor field ``[0, 1]²`` in which the paper places all nodes.
+UNIT_SQUARE = Square(0.0, 0.0, 1.0)
+
+
+class GridPartition:
+    """A ``k × k`` equal partition of a parent :class:`Square`.
+
+    Provides O(1) point-to-cell lookup: the workhorse for both the spatial
+    hash grid and the paper's hierarchy of subsquares.
+
+    Cells are indexed row-major from the bottom-left, matching
+    :meth:`Square.subdivide`.
+    """
+
+    def __init__(self, parent: Square, k: int):
+        if k <= 0:
+            raise ValueError(f"grid resolution must be positive, got {k}")
+        self.parent = parent
+        self.k = k
+        self.cell_side = parent.side / k
+
+    def __len__(self) -> int:
+        return self.k * self.k
+
+    @property
+    def cells(self) -> list[Square]:
+        """All ``k²`` cells, row-major from the bottom-left."""
+        return [self.cell(i) for i in range(len(self))]
+
+    def cell(self, index: int) -> Square:
+        """The cell with flat index ``index`` (cells are built on demand)."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"cell index {index} out of range for k={self.k}")
+        row, col = divmod(index, self.k)
+        return Square(
+            self.parent.x0 + col * self.cell_side,
+            self.parent.y0 + row * self.cell_side,
+            self.cell_side,
+        )
+
+    def cell_index(self, point: np.ndarray) -> int:
+        """Index of the cell containing ``point``.
+
+        Points on interior cell boundaries resolve to the upper cell; points
+        at the parent's top/right boundary clamp into the last cell so the
+        partition is exhaustive over the closed parent square.
+        """
+        col = self._axis_index(float(point[0]) - self.parent.x0)
+        row = self._axis_index(float(point[1]) - self.parent.y0)
+        return row * self.k + col
+
+    def cell_indices(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`cell_index` for an ``(n, 2)`` array."""
+        cols = self._axis_indices(points[:, 0] - self.parent.x0)
+        rows = self._axis_indices(points[:, 1] - self.parent.y0)
+        return rows * self.k + cols
+
+    def row_col(self, index: int) -> tuple[int, int]:
+        """``(row, col)`` pair for a flat cell index."""
+        return divmod(index, self.k)
+
+    def neighbors_of_cell(self, index: int) -> list[int]:
+        """Indices of the ≤ 8 cells adjacent (incl. diagonals) to ``index``."""
+        row, col = self.row_col(index)
+        found = []
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                if dr == 0 and dc == 0:
+                    continue
+                r, c = row + dr, col + dc
+                if 0 <= r < self.k and 0 <= c < self.k:
+                    found.append(r * self.k + c)
+        return found
+
+    def _axis_index(self, offset: float) -> int:
+        index = int(offset / self.cell_side)
+        return min(max(index, 0), self.k - 1)
+
+    def _axis_indices(self, offsets: np.ndarray) -> np.ndarray:
+        indices = (offsets / self.cell_side).astype(np.int64)
+        return np.clip(indices, 0, self.k - 1)

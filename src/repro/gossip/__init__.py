@@ -1,0 +1,50 @@
+"""Gossip averaging algorithms.
+
+Three families, matching the paper's narrative:
+
+* :class:`~repro.gossip.randomized.RandomizedGossip` — Boyd et al. (2005):
+  convex averaging with a uniform random neighbour; ``Õ(n²)`` transmissions
+  on a geometric random graph.
+* :class:`~repro.gossip.geographic.GeographicGossip` — Dimakis et al.
+  (2006): convex averaging with a routed, nearly uniform random node;
+  ``Õ(n^1.5)`` transmissions.
+* the paper's contribution — hierarchical gossip with *affine* updates
+  (:mod:`repro.gossip.hierarchical`), ``n^{1+o(1)}`` transmissions; its
+  complete-graph core dynamics (Lemma 1/2) live in
+  :mod:`repro.gossip.affine`.
+
+All algorithms run under the same asynchronous-clock driver
+(:class:`~repro.gossip.base.AsynchronousGossip`) and produce the same
+:class:`~repro.gossip.base.GossipRunResult`.
+"""
+
+from repro.gossip.affine import (
+    AffineGossipKn,
+    PerturbedAffineGossipKn,
+    affine_pair_update,
+    sample_alphas,
+)
+from repro.gossip.base import AsynchronousGossip, GossipRunResult
+from repro.gossip.geographic import GeographicGossip
+from repro.gossip.randomized import RandomizedGossip
+from repro.gossip.spatial import SpatialGossip
+from repro.gossip.tree_aggregation import (
+    TreeAggregationResult,
+    transmission_lower_bound,
+    tree_aggregate,
+)
+
+__all__ = [
+    "AffineGossipKn",
+    "AsynchronousGossip",
+    "GeographicGossip",
+    "GossipRunResult",
+    "PerturbedAffineGossipKn",
+    "RandomizedGossip",
+    "SpatialGossip",
+    "TreeAggregationResult",
+    "affine_pair_update",
+    "sample_alphas",
+    "transmission_lower_bound",
+    "tree_aggregate",
+]

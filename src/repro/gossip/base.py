@@ -1,0 +1,169 @@
+"""The asynchronous gossip driver.
+
+All gossip algorithms in this library share the paper's execution model
+(Section 2): a global rate-``n`` Poisson clock assigns ticks to uniformly
+random nodes; the owner of a tick performs one protocol action.  Subclasses
+implement :meth:`AsynchronousGossip.tick`; the base class provides the
+run-until-ε loop, transmission accounting, tracing, and the stopping rule.
+
+The stopping rule is *oracular* (DESIGN.md, D7): the simulator measures the
+true normalized error and stops when it crosses ε.  Deployed systems would
+instead run for the worst-case tick counts the theorems prescribe; the
+transmission *costs* recorded here are unaffected by that choice.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.error import normalized_error
+from repro.metrics.trace import ConvergenceTrace
+from repro.routing.cost import TransmissionCounter
+
+__all__ = ["GossipRunResult", "AsynchronousGossip"]
+
+
+@dataclass
+class GossipRunResult:
+    """Outcome of one gossip run.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the algorithm that produced the run.
+    values:
+        Final sensor values.
+    initial_values:
+        The values the run started from (for re-deriving any error metric).
+    transmissions:
+        Per-category transmission counts, including ``"total"``.
+    ticks:
+        Global clock ticks consumed.
+    converged:
+        Whether the ε-criterion was met within the tick budget.
+    epsilon:
+        The target normalized error.
+    error:
+        Final normalized error ``‖x(t)‖/‖x(0)‖``.
+    trace:
+        Thinned (transmissions → error) curve.
+    """
+
+    algorithm: str
+    values: np.ndarray
+    initial_values: np.ndarray
+    transmissions: dict[str, int]
+    ticks: int
+    converged: bool
+    epsilon: float
+    error: float
+    trace: ConvergenceTrace
+
+    @property
+    def total_transmissions(self) -> int:
+        return self.transmissions["total"]
+
+
+class AsynchronousGossip(ABC):
+    """Base class: one protocol action per Poisson clock tick.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; tick owners are drawn uniformly from ``range(n)``.
+    """
+
+    name = "abstract-gossip"
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError(f"gossip needs at least two nodes, got {n}")
+        self.n = n
+
+    @abstractmethod
+    def tick(
+        self,
+        node: int,
+        values: np.ndarray,
+        counter: TransmissionCounter,
+        rng: np.random.Generator,
+    ) -> None:
+        """Execute ``node``'s action for one clock tick, in place."""
+
+    def tick_budget(self, epsilon: float) -> int:
+        """Default safety budget of clock ticks for :meth:`run`.
+
+        Generous (an order of magnitude above the expected need) so that a
+        healthy run never hits it; subclasses refine it with their own
+        convergence orders.
+        """
+        return int(50 * self.n * self.n * (1 + abs(np.log(max(epsilon, 1e-12)))))
+
+    def run(
+        self,
+        initial_values: np.ndarray,
+        epsilon: float,
+        rng: np.random.Generator,
+        max_ticks: int | None = None,
+        check_every: int | None = None,
+        trace_thinning: float = 0.02,
+    ) -> GossipRunResult:
+        """Run until ``‖x(t)‖ ≤ ε·‖x(0)‖`` or the tick budget is exhausted.
+
+        Parameters
+        ----------
+        initial_values:
+            One value per node; the run works on a copy.
+        epsilon:
+            Target normalized error (the paper's ε).
+        rng:
+            Drives clock-tick owners and all protocol randomness.
+        max_ticks:
+            Overrides :meth:`tick_budget`.
+        check_every:
+            Error-check (and trace) period in ticks; defaults to
+            ``max(1, n // 4)`` so checking adds O(1) amortised work per tick.
+        """
+        initial_values = np.asarray(initial_values, dtype=np.float64)
+        if initial_values.shape != (self.n,):
+            raise ValueError(
+                f"need one value per node: expected shape ({self.n},), "
+                f"got {initial_values.shape}"
+            )
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        values = initial_values.copy()
+        counter = TransmissionCounter()
+        trace = ConvergenceTrace(thinning=trace_thinning)
+        budget = self.tick_budget(epsilon) if max_ticks is None else max_ticks
+        period = max(1, self.n // 4) if check_every is None else max(1, check_every)
+
+        error = normalized_error(values, initial_values)
+        trace.force_record(0, 0, error)
+        ticks = 0
+        converged = error <= epsilon
+        while not converged and ticks < budget:
+            node = int(rng.integers(self.n))
+            self.tick(node, values, counter, rng)
+            ticks += 1
+            if ticks % period == 0:
+                error = normalized_error(values, initial_values)
+                trace.record(counter.total, ticks, error)
+                converged = error <= epsilon
+        error = normalized_error(values, initial_values)
+        converged = error <= epsilon
+        trace.force_record(counter.total, ticks, error)
+        return GossipRunResult(
+            algorithm=self.name,
+            values=values,
+            initial_values=initial_values,
+            transmissions=counter.snapshot(),
+            ticks=ticks,
+            converged=converged,
+            epsilon=epsilon,
+            error=error,
+            trace=trace,
+        )

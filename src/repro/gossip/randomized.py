@@ -1,0 +1,60 @@
+"""Randomized gossip (Boyd, Ghosh, Prabhakar, Shah — INFOCOM 2005).
+
+The baseline the paper's Section 1.1 describes: "when the clock of a sensor
+s ticks, s sends its value x_s to a sensor v chosen uniformly at random
+from its neighbors, and receives the value x_v of v.  Thereafter s and v
+set their values to (x_s+x_v)/2."  Cost per exchange: 2 transmissions.
+
+On a geometric random graph at the connectivity radius the number of
+transmissions to ε-average is ``Θ(n · T_mix) = Õ(n²)`` — the slow baseline
+of experiment E7, and the subject of the mixing-time link in E12.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gossip.base import AsynchronousGossip
+from repro.routing.cost import TransmissionCounter
+
+__all__ = ["RandomizedGossip"]
+
+
+class RandomizedGossip(AsynchronousGossip):
+    """Nearest-neighbour convex pairwise averaging.
+
+    Parameters
+    ----------
+    neighbors:
+        Per-node adjacency arrays (a
+        :class:`~repro.graphs.rgg.RandomGeometricGraph`'s ``neighbors``, or
+        any topology from :mod:`repro.graphs.generators`).
+    """
+
+    name = "randomized"
+
+    def __init__(self, neighbors: list[np.ndarray]):
+        super().__init__(len(neighbors))
+        self.neighbors = neighbors
+
+    def tick(
+        self,
+        node: int,
+        values: np.ndarray,
+        counter: TransmissionCounter,
+        rng: np.random.Generator,
+    ) -> None:
+        adjacency = self.neighbors[node]
+        if adjacency.size == 0:
+            return  # isolated node: its tick is wasted (cannot occur w.h.p.)
+        partner = int(adjacency[rng.integers(adjacency.size)])
+        average = 0.5 * (values[node] + values[partner])
+        values[node] = average
+        values[partner] = average
+        counter.charge(2, "near")
+
+    def tick_budget(self, epsilon: float) -> int:
+        # T_ave = Θ(n²/log n · log(1/ε)) ticks on an RGG; allow 20x headroom.
+        n = self.n
+        log_term = 1 + abs(np.log(max(epsilon, 1e-12)))
+        return int(20 * n * n / max(np.log(n), 1.0) * log_term) + 10_000

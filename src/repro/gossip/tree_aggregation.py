@@ -1,0 +1,114 @@
+"""Spanning-tree aggregation: the Θ(n) optimality reference.
+
+The paper's optimality argument (§1.2): "The exponent 1 + o(1) is
+asymptotically optimal, since every node must make at least one
+transmission for an averaging algorithm to work."  The natural scheme
+achieving Θ(n) — with coordination the gossip model deliberately avoids —
+is converge-cast up a spanning tree followed by a broadcast down:
+
+1. build a BFS tree from a root (cost: one flood, ``n`` transmissions);
+2. leaves send ``(sum, count)`` up; every inner node aggregates its
+   subtree and forwards one packet to its parent (``n − 1``);
+3. the root computes the average and broadcasts it down (``n − 1``).
+
+Total ``3n − 2`` transmissions and an *exact* average.  It is not a
+gossip algorithm (it needs a root, tree state, and is fragile to any
+topology change), but it pins the lower-envelope line in experiment E7
+and the `transmission_lower_bound` every algorithm is measured against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.routing.cost import TransmissionCounter
+
+__all__ = ["TreeAggregationResult", "tree_aggregate", "transmission_lower_bound"]
+
+
+@dataclass(frozen=True)
+class TreeAggregationResult:
+    """Outcome of one converge-cast/broadcast round."""
+
+    values: np.ndarray
+    transmissions: int
+    covered: int
+    exact: bool
+
+    @property
+    def average(self) -> float:
+        return float(self.values[0]) if len(self.values) else float("nan")
+
+
+def transmission_lower_bound(n: int) -> int:
+    """Every node must transmit at least once (paper §1.2): ``n``."""
+    if n <= 0:
+        raise ValueError(f"need a positive node count, got {n}")
+    return n
+
+
+def tree_aggregate(
+    neighbors: list[np.ndarray],
+    values: np.ndarray,
+    root: int = 0,
+    counter: TransmissionCounter | None = None,
+) -> TreeAggregationResult:
+    """Average via BFS-tree converge-cast + broadcast.
+
+    Nodes outside the root's component keep their values (``exact`` is
+    False in that case).  Transmission accounting: ``covered`` sends for
+    the tree-building flood, ``covered − 1`` up, ``covered − 1`` down.
+    """
+    n = len(neighbors)
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != (n,):
+        raise ValueError(
+            f"need one value per node: expected shape ({n},), got {values.shape}"
+        )
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range for {n} nodes")
+
+    # Phase 1: BFS flood builds the tree (each covered node transmits once).
+    parent = np.full(n, -1, dtype=np.int64)
+    order = [root]
+    seen = {root}
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        for v in neighbors[u]:
+            v = int(v)
+            if v not in seen:
+                seen.add(v)
+                parent[v] = u
+                order.append(v)
+                queue.append(v)
+    covered = len(order)
+
+    # Phase 2: converge-cast (sum, count) in reverse BFS order.
+    sums = values.copy()
+    counts = np.ones(n)
+    for node in reversed(order[1:]):
+        p = int(parent[node])
+        sums[p] += sums[node]
+        counts[p] += counts[node]
+
+    # Phase 3: broadcast the average down the tree.
+    average = sums[root] / counts[root]
+    out = values.copy()
+    for node in order:
+        out[node] = average
+
+    transmissions = covered + 2 * (covered - 1)
+    if counter is not None:
+        counter.charge(covered, "flood")
+        counter.charge(covered - 1, "convergecast")
+        counter.charge(covered - 1, "broadcast")
+    return TreeAggregationResult(
+        values=out,
+        transmissions=transmissions,
+        covered=covered,
+        exact=covered == n,
+    )

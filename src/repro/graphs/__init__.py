@@ -1,0 +1,40 @@
+"""Graph substrates: geometric random graphs and reference topologies.
+
+The paper's communication substrate is the geometric random graph
+``G(n, r)`` (:mod:`repro.graphs.rgg`), built with a linear-time spatial hash
+grid (:mod:`repro.graphs.cellgrid`).  Connectivity analysis in the
+Gupta–Kumar regime lives in :mod:`repro.graphs.connectivity`; reference
+topologies used by the mixing-time experiments in
+:mod:`repro.graphs.generators`.
+"""
+
+from repro.graphs.cellgrid import CellGrid
+from repro.graphs.connectivity import (
+    UnionFind,
+    connected_components,
+    connectivity_probability,
+    is_connected,
+    largest_component,
+)
+from repro.graphs.generators import (
+    complete_graph_adjacency,
+    erdos_renyi_adjacency,
+    grid_graph_adjacency,
+    ring_graph_adjacency,
+)
+from repro.graphs.rgg import RandomGeometricGraph, connectivity_radius
+
+__all__ = [
+    "CellGrid",
+    "RandomGeometricGraph",
+    "UnionFind",
+    "complete_graph_adjacency",
+    "connected_components",
+    "connectivity_probability",
+    "connectivity_radius",
+    "erdos_renyi_adjacency",
+    "grid_graph_adjacency",
+    "is_connected",
+    "largest_component",
+    "ring_graph_adjacency",
+]

@@ -1,0 +1,121 @@
+"""Connectivity analysis for geometric random graphs.
+
+The paper works in the Gupta–Kumar regime ``r = Θ(sqrt(log n / n))`` where
+``G(n, r)`` is connected w.h.p. (Section 1.1/2.1); disconnection probability
+``Ω(n^{−O(1)})`` is why the failure budget δ cannot be pushed below
+``n^{−O(1)}``.  Experiment E5 measures the connectivity probability as a
+function of the radius constant.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "UnionFind",
+    "is_connected",
+    "connected_components",
+    "largest_component",
+    "connectivity_probability",
+]
+
+
+class UnionFind:
+    """Disjoint-set forest with path compression and union by size."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError(f"need a positive number of elements, got {n}")
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self.components = n
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s component."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the components of ``a`` and ``b``; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self.components -= 1
+        return True
+
+    def component_size(self, x: int) -> int:
+        return self._size[self.find(x)]
+
+
+def is_connected(neighbors: Sequence[np.ndarray]) -> bool:
+    """Whether the graph given by per-node neighbour arrays is connected."""
+    n = len(neighbors)
+    if n == 0:
+        return True
+    uf = UnionFind(n)
+    for i, adj in enumerate(neighbors):
+        for j in adj:
+            uf.union(i, int(j))
+    return uf.components == 1
+
+
+def connected_components(neighbors: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """All connected components, largest first, as sorted index arrays."""
+    n = len(neighbors)
+    label = np.full(n, -1, dtype=np.int64)
+    count = 0
+    for start in range(n):
+        if label[start] >= 0:
+            continue
+        queue = deque([start])
+        label[start] = count
+        while queue:
+            u = queue.popleft()
+            for v in neighbors[u]:
+                v = int(v)
+                if label[v] < 0:
+                    label[v] = count
+                    queue.append(v)
+        count += 1
+    components = [np.nonzero(label == c)[0] for c in range(count)]
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_component(neighbors: Sequence[np.ndarray]) -> np.ndarray:
+    """Node indices of the largest connected component."""
+    return connected_components(neighbors)[0]
+
+
+def connectivity_probability(
+    n: int,
+    radius: float,
+    trials: int,
+    rng: np.random.Generator,
+) -> float:
+    """Monte-Carlo estimate of ``P(G(n, radius) is connected)``.
+
+    Used by experiment E5 to chart the sharp threshold around
+    ``sqrt(log n / n)``.
+    """
+    from repro.graphs.rgg import RandomGeometricGraph
+
+    if trials <= 0:
+        raise ValueError(f"need a positive number of trials, got {trials}")
+    connected = 0
+    for _ in range(trials):
+        graph = RandomGeometricGraph.sample(n, rng, radius=radius)
+        if is_connected(graph.neighbors):
+            connected += 1
+    return connected / trials

@@ -1,0 +1,73 @@
+"""Reference (non-geometric) topologies.
+
+The mixing-time experiment (E12) contrasts the RGG spectral gap against
+classical topologies whose gossip behaviour is known in closed form:
+the complete graph (``T_mix = O(1)``, the regime geographic gossip emulates),
+the ring and 2-D grid (slow mixing), and Erdős–Rényi graphs.
+
+All generators return neighbour-array lists in the same format as
+:class:`~repro.graphs.rgg.RandomGeometricGraph.neighbors` so every gossip
+algorithm in :mod:`repro.gossip` runs on them unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "complete_graph_adjacency",
+    "ring_graph_adjacency",
+    "grid_graph_adjacency",
+    "erdos_renyi_adjacency",
+]
+
+
+def complete_graph_adjacency(n: int) -> list[np.ndarray]:
+    """``K_n``: every node adjacent to every other node."""
+    if n <= 0:
+        raise ValueError(f"need a positive node count, got {n}")
+    everyone = np.arange(n, dtype=np.int64)
+    return [np.delete(everyone, i) for i in range(n)]
+
+
+def ring_graph_adjacency(n: int) -> list[np.ndarray]:
+    """Cycle on ``n`` nodes (``n ≥ 3``)."""
+    if n < 3:
+        raise ValueError(f"a ring needs at least 3 nodes, got {n}")
+    return [
+        np.array(sorted(((i - 1) % n, (i + 1) % n)), dtype=np.int64)
+        for i in range(n)
+    ]
+
+
+def grid_graph_adjacency(rows: int, cols: int) -> list[np.ndarray]:
+    """4-connected ``rows × cols`` lattice, row-major node order."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError(f"grid dimensions must be positive, got {rows}x{cols}")
+    out: list[np.ndarray] = []
+    for r in range(rows):
+        for c in range(cols):
+            adj = []
+            if r > 0:
+                adj.append((r - 1) * cols + c)
+            if r < rows - 1:
+                adj.append((r + 1) * cols + c)
+            if c > 0:
+                adj.append(r * cols + c - 1)
+            if c < cols - 1:
+                adj.append(r * cols + c + 1)
+            out.append(np.array(sorted(adj), dtype=np.int64))
+    return out
+
+
+def erdos_renyi_adjacency(
+    n: int, p: float, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """``G(n, p)``: each of the ``n(n−1)/2`` edges present independently w.p. ``p``."""
+    if n <= 0:
+        raise ValueError(f"need a positive node count, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability must lie in [0, 1], got {p}")
+    upper = np.triu(rng.random((n, n)) < p, k=1)
+    adjacency = upper | upper.T
+    return [np.nonzero(adjacency[i])[0].astype(np.int64) for i in range(n)]

@@ -1,0 +1,34 @@
+"""The paper's recursive square hierarchy (Section 4.1).
+
+The unit square is split into ``n₁`` subsquares (``n₁`` = the nearest
+square-of-an-even-number to ``sqrt(n)``); every square whose *expected*
+occupancy still exceeds a leaf threshold is split again by the same rule.
+Each square elects the sensor nearest its centre as its supernode ``s(□)``,
+and supernodes carry hierarchy Levels ``ℓ − r`` (root = Level ℓ, deepest
+supernodes = Level 1, ordinary sensors = Level 0).
+
+* :mod:`repro.hierarchy.addresses` — square addresses ``□_{i₁…i_r}``.
+* :mod:`repro.hierarchy.subdivision` — the even-square subdivision rule and
+  leaf thresholds (paper's ``(log n)^8`` and a practical variant).
+* :mod:`repro.hierarchy.tree` — the built hierarchy: squares, members,
+  supernodes, Levels, occupancy statistics.
+"""
+
+from repro.hierarchy.addresses import SquareAddress
+from repro.hierarchy.subdivision import (
+    nearest_even_square,
+    paper_leaf_threshold,
+    practical_leaf_threshold,
+    subdivision_factors,
+)
+from repro.hierarchy.tree import HierarchyTree, SquareNode
+
+__all__ = [
+    "HierarchyTree",
+    "SquareAddress",
+    "SquareNode",
+    "nearest_even_square",
+    "paper_leaf_threshold",
+    "practical_leaf_threshold",
+    "subdivision_factors",
+]

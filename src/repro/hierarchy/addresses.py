@@ -1,0 +1,68 @@
+"""Square addresses ``□_{i₁ i₂ … i_r}``.
+
+The paper names squares by the chain of child indices from the root: the
+unit square is ``□``, its subsquares are ``□_{i₁}``, their subsquares
+``□_{i₁ i₂}``, and so on.  :class:`SquareAddress` is that chain as an
+immutable tuple, ordered root-first, with each index the row-major cell
+index within the parent's grid partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SquareAddress"]
+
+
+@dataclass(frozen=True)
+class SquareAddress:
+    """Immutable path of child indices identifying a square."""
+
+    indices: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if any(i < 0 for i in self.indices):
+            raise ValueError(f"address indices must be non-negative: {self.indices}")
+
+    @property
+    def depth(self) -> int:
+        """Recursion depth ``r``; the root has depth 0."""
+        return len(self.indices)
+
+    @property
+    def is_root(self) -> bool:
+        return not self.indices
+
+    @property
+    def parent(self) -> "SquareAddress":
+        """Address of the enclosing square; the root is its own parent."""
+        if self.is_root:
+            return self
+        return SquareAddress(self.indices[:-1])
+
+    def child(self, index: int) -> "SquareAddress":
+        """Address of child ``index`` within this square's partition."""
+        if index < 0:
+            raise ValueError(f"child index must be non-negative, got {index}")
+        return SquareAddress(self.indices + (index,))
+
+    def is_ancestor_of(self, other: "SquareAddress") -> bool:
+        """Strict ancestry: ``self`` strictly contains ``other``."""
+        return (
+            self.depth < other.depth
+            and other.indices[: self.depth] == self.indices
+        )
+
+    def is_sibling_of(self, other: "SquareAddress") -> bool:
+        """Same parent, different square."""
+        return (
+            self.depth == other.depth
+            and self.depth > 0
+            and self.parent == other.parent
+            and self != other
+        )
+
+    def __str__(self) -> str:
+        if self.is_root:
+            return "□"
+        return "□[" + ".".join(str(i) for i in self.indices) + "]"

@@ -1,0 +1,27 @@
+"""Error metrics and convergence traces.
+
+The paper's performance criterion (Section 2.1): drive
+``‖x(t)‖ < ε·‖x(0)‖`` where values are centred so the true average is zero.
+:mod:`repro.metrics.error` provides that norm and related diagnostics;
+:mod:`repro.metrics.trace` records (transmissions, error) curves for the
+convergence experiments.
+"""
+
+from repro.metrics.error import (
+    consensus_value,
+    deviation_norm,
+    max_deviation,
+    normalized_error,
+    variance,
+)
+from repro.metrics.trace import ConvergenceTrace, TracePoint
+
+__all__ = [
+    "ConvergenceTrace",
+    "TracePoint",
+    "consensus_value",
+    "deviation_norm",
+    "max_deviation",
+    "normalized_error",
+    "variance",
+]

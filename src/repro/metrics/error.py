@@ -1,0 +1,63 @@
+"""Distance-to-average metrics.
+
+The paper centres values ("Without loss of generality, we assume
+x̄(0) = 0") and studies ``‖x(t)‖``.  Simulations keep raw sensor values, so
+the metrics here subtract the *initial* mean — which every sum-conserving
+protocol preserves — making ``deviation_norm`` the paper's ``‖x(t)‖``
+exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "consensus_value",
+    "deviation_norm",
+    "normalized_error",
+    "variance",
+    "max_deviation",
+]
+
+
+def consensus_value(values: np.ndarray) -> float:
+    """The average the protocol should converge to."""
+    return float(np.mean(values))
+
+
+def deviation_norm(values: np.ndarray, mean: float | None = None) -> float:
+    """ℓ₂ norm of the deviation from the mean — the paper's ``‖x(t)‖``.
+
+    ``mean`` defaults to the current mean; sum-conserving protocols keep
+    that equal to the initial mean, but pass the initial mean explicitly
+    when auditing protocols that may leak mass.
+    """
+    if mean is None:
+        mean = consensus_value(values)
+    return float(np.linalg.norm(values - mean))
+
+
+def normalized_error(values: np.ndarray, initial_values: np.ndarray) -> float:
+    """``‖x(t)‖ / ‖x(0)‖`` with both deviations taken about the initial mean.
+
+    This is the ε of the paper's problem statement: the algorithm succeeds
+    once ``normalized_error ≤ ε``.  Degenerate inputs (initially consensual)
+    return 0: any consensus-preserving run is vacuously converged.
+    """
+    initial_mean = consensus_value(initial_values)
+    initial_norm = deviation_norm(initial_values, initial_mean)
+    if initial_norm == 0.0:
+        return 0.0
+    return deviation_norm(values, initial_mean) / initial_norm
+
+
+def variance(values: np.ndarray) -> float:
+    """Population variance — ``‖x − x̄‖²/n``, the per-sensor energy."""
+    return float(np.var(values))
+
+
+def max_deviation(values: np.ndarray, mean: float | None = None) -> float:
+    """ℓ∞ distance from the mean (stricter than the paper's ℓ₂ criterion)."""
+    if mean is None:
+        mean = consensus_value(values)
+    return float(np.max(np.abs(values - mean)))

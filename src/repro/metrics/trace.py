@@ -1,0 +1,95 @@
+"""Convergence traces: error as a function of transmissions.
+
+Every gossip run can record a :class:`ConvergenceTrace` — the (cumulative
+transmissions, clock ticks, normalized error) curve that experiments E7/E8
+plot.  Recording every tick would dominate runtime at large ``n``, so the
+trace thins itself geometrically: points are kept only when transmissions
+grow by ``thinning`` (default 1%) since the last kept point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TracePoint", "ConvergenceTrace"]
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One sample of a convergence curve."""
+
+    transmissions: int
+    ticks: int
+    error: float
+
+
+@dataclass
+class ConvergenceTrace:
+    """A thinned (transmissions → error) curve.
+
+    Parameters
+    ----------
+    thinning:
+        Minimum relative growth in transmissions between kept points;
+        0 keeps every offered point.
+    """
+
+    thinning: float = 0.01
+    points: list[TracePoint] = field(default_factory=list)
+
+    def record(self, transmissions: int, ticks: int, error: float) -> bool:
+        """Offer a sample; returns True if it was kept."""
+        if self.points:
+            last = self.points[-1].transmissions
+            if transmissions < last * (1.0 + self.thinning):
+                return False
+        self.points.append(TracePoint(transmissions, ticks, error))
+        return True
+
+    def force_record(self, transmissions: int, ticks: int, error: float) -> None:
+        """Record unconditionally (used for the final state of a run)."""
+        self.points.append(TracePoint(transmissions, ticks, error))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def final_error(self) -> float:
+        if not self.points:
+            raise ValueError("trace is empty")
+        return self.points[-1].error
+
+    @property
+    def final_transmissions(self) -> int:
+        if not self.points:
+            raise ValueError("trace is empty")
+        return self.points[-1].transmissions
+
+    def transmissions_to_reach(self, error: float) -> int | None:
+        """First recorded transmission count with error ≤ ``error``."""
+        for point in self.points:
+            if point.error <= error:
+                return point.transmissions
+        return None
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(transmissions, errors) as parallel arrays for plotting/fitting."""
+        tx = np.array([p.transmissions for p in self.points], dtype=np.int64)
+        err = np.array([p.error for p in self.points], dtype=np.float64)
+        return tx, err
+
+    def decay_rate_per_transmission(self) -> float:
+        """Fitted exponential decay rate of the error curve.
+
+        Least-squares slope of ``log(error)`` against transmissions over
+        the recorded points with positive error; useful for comparing
+        convergence speeds without choosing a single ε.
+        """
+        tx, err = self.as_arrays()
+        keep = err > 0
+        if keep.sum() < 2:
+            raise ValueError("need at least two positive-error points to fit")
+        slope = np.polyfit(tx[keep], np.log(err[keep]), deg=1)[0]
+        return float(-slope)

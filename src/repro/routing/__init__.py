@@ -1,0 +1,31 @@
+"""Packet-level communication primitives.
+
+Three mechanisms from the paper and its predecessor (Dimakis et al. 2006):
+
+* **Greedy geographic routing** (:mod:`repro.routing.greedy`): forward a
+  packet hop by hop to the neighbour nearest the target location.  Used by
+  geographic gossip and by every `Far` exchange / high-level activation in
+  the hierarchical protocol.
+* **Flooding** (:mod:`repro.routing.flooding`): broadcast within a node
+  subset; used by `Activate.square` / `Deactivate.square` at Level 1.
+* **Rejection sampling** (:mod:`repro.routing.rejection`): turn "nearest
+  node to a uniform location" (biased by Voronoi cell areas) into a nearly
+  uniform distribution over nodes.
+
+All primitives charge their cost to a shared
+:class:`~repro.routing.cost.TransmissionCounter`.
+"""
+
+from repro.routing.cost import TransmissionCounter
+from repro.routing.flooding import flood
+from repro.routing.greedy import GreedyRouter, RouteResult
+from repro.routing.rejection import RejectionSampler, voronoi_cell_areas
+
+__all__ = [
+    "GreedyRouter",
+    "RejectionSampler",
+    "RouteResult",
+    "TransmissionCounter",
+    "flood",
+    "voronoi_cell_areas",
+]

@@ -1,0 +1,72 @@
+"""Flooding within a node subset.
+
+`Activate.square` / `Deactivate.square` at Level 1 "send packets to each
+node s' in □(s) ... by flooding" (Section 4.2).  We model a flood as a BFS
+over the communication graph restricted to the members of the square: every
+member retransmits the packet once, so a flood over ``m`` reachable members
+costs ``m`` transmissions (the initiator's send plus one forward per newly
+covered node), i.e. ``O(m)`` — the accounting used in Section 3 ("each
+process of initiating or ending A on a square takes O(√n) transmissions",
+a square holding ~√n sensors).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.routing.cost import TransmissionCounter
+
+__all__ = ["flood"]
+
+
+def flood(
+    neighbors: Sequence[np.ndarray],
+    source: int,
+    members: Iterable[int],
+    counter: TransmissionCounter | None = None,
+    category: str = "flood",
+) -> list[int]:
+    """Flood a packet from ``source`` to every reachable node in ``members``.
+
+    Parameters
+    ----------
+    neighbors:
+        Per-node adjacency arrays of the full communication graph.
+    source:
+        The initiating node (must belong to ``members``).
+    members:
+        The node subset being flooded (the square's sensors); edges leaving
+        the subset are not used, matching the protocol's square-local
+        broadcast.
+    counter:
+        Transmission counter to charge (one transmission per node that
+        sends, i.e. the number of reached nodes including the source).
+
+    Returns
+    -------
+    list[int]
+        The reached members in BFS order (``source`` first).  With a
+        connected intra-square graph this is all of ``members``.
+    """
+    member_set = set(int(m) for m in members)
+    if source not in member_set:
+        raise ValueError(f"flood source {source} is not a member of the square")
+    reached = [source]
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in neighbors[u]:
+            v = int(v)
+            if v in member_set and v not in seen:
+                seen.add(v)
+                reached.append(v)
+                queue.append(v)
+    if counter is not None:
+        # Every reached node transmits once; leaves' retransmissions are
+        # counted too (nodes cannot know they have no uncovered neighbour).
+        counter.charge(len(reached), category)
+    return reached

@@ -1,0 +1,15 @@
+"""Terminal-native visualisation (no plotting dependencies).
+
+Sensor fields, convergence curves and hierarchy layouts rendered as
+ASCII/Unicode blocks — enough to eyeball a run from an SSH session:
+
+* :func:`~repro.viz.ascii.render_field` — a field heat-map over the unit
+  square;
+* :func:`~repro.viz.ascii.render_curve` — log-scale convergence curves;
+* :func:`~repro.viz.ascii.render_hierarchy` — the square hierarchy with
+  supernode positions.
+"""
+
+from repro.viz.ascii import render_curve, render_field, render_hierarchy
+
+__all__ = ["render_curve", "render_field", "render_hierarchy"]

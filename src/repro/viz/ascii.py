@@ -1,0 +1,141 @@
+"""ASCII renderers for fields, curves and hierarchies.
+
+All functions return plain strings (they never print), sized for a
+standard terminal.  Character ramps use ASCII only, so output survives
+any locale.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["render_field", "render_curve", "render_hierarchy"]
+
+#: Dark-to-bright character ramp for heat-maps.
+_RAMP = " .:-=+*#%@"
+
+
+def render_field(
+    positions: np.ndarray,
+    values: np.ndarray,
+    width: int = 48,
+    height: int = 24,
+) -> str:
+    """Heat-map of sensor ``values`` over the unit square.
+
+    Each character cell shows the mean value of the sensors inside it
+    (blank where no sensor lies).  Rows print top-down (y decreasing), so
+    the picture matches the usual orientation of the unit square.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if len(positions) != len(values):
+        raise ValueError(
+            f"{len(positions)} positions vs {len(values)} values"
+        )
+    if width <= 0 or height <= 0:
+        raise ValueError("width and height must be positive")
+    cols = np.clip((positions[:, 0] * width).astype(int), 0, width - 1)
+    rows = np.clip((positions[:, 1] * height).astype(int), 0, height - 1)
+    sums = np.zeros((height, width))
+    counts = np.zeros((height, width))
+    np.add.at(sums, (rows, cols), values)
+    np.add.at(counts, (rows, cols), 1.0)
+    occupied = counts > 0
+    means = np.where(occupied, sums / np.maximum(counts, 1.0), np.nan)
+    finite = means[occupied]
+    low = float(finite.min()) if finite.size else 0.0
+    high = float(finite.max()) if finite.size else 1.0
+    span = (high - low) or 1.0
+    lines = []
+    for r in range(height - 1, -1, -1):
+        chars = []
+        for c in range(width):
+            if not occupied[r, c]:
+                chars.append(" ")
+            else:
+                level = (means[r, c] - low) / span
+                chars.append(_RAMP[min(int(level * (len(_RAMP) - 1)), len(_RAMP) - 1)])
+        lines.append("|" + "".join(chars) + "|")
+    header = "+" + "-" * width + "+"
+    legend = f"  range: [{low:.3g}, {high:.3g}]   '{_RAMP[0]}' low ... '{_RAMP[-1]}' high"
+    return "\n".join([header, *lines, header, legend])
+
+
+def render_curve(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 60,
+    height: int = 16,
+    logy: bool = True,
+    label: str = "",
+) -> str:
+    """A scatter-style curve, optionally log-scaled on y.
+
+    Designed for convergence traces: ``x`` = transmissions, ``y`` = error.
+    Non-positive ``y`` values are dropped when ``logy`` is set.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("need matching x/y arrays with at least two points")
+    if logy:
+        keep = y > 0
+        x, y = x[keep], np.log10(y[keep])
+        if x.size < 2:
+            raise ValueError("fewer than two positive y values for a log plot")
+    x_low, x_high = float(x.min()), float(x.max())
+    y_low, y_high = float(y.min()), float(y.max())
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, y):
+        col = min(int((xi - x_low) / x_span * (width - 1)), width - 1)
+        row = min(int((yi - y_low) / y_span * (height - 1)), height - 1)
+        grid[height - 1 - row][col] = "*"
+    top = f"{10**y_high:.2g}" if logy else f"{y_high:.3g}"
+    bottom = f"{10**y_low:.2g}" if logy else f"{y_low:.3g}"
+    lines = [f"{label}" if label else ""]
+    for index, row in enumerate(grid):
+        margin = top if index == 0 else (bottom if index == height - 1 else "")
+        lines.append(f"{margin:>9} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(f"{'':>10} {x_low:.3g}" + " " * max(1, width - 18) + f"{x_high:.3g}")
+    return "\n".join(line for line in lines if line != "")
+
+
+def render_hierarchy(tree, width: int = 48, height: int = 24) -> str:
+    """The square hierarchy: grid lines per level plus supernode markers.
+
+    Depth-1 boundaries draw as ``+``/lines; supernodes print as digits —
+    their Level (capped at 9).  Accepts a
+    :class:`~repro.hierarchy.tree.HierarchyTree`.
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("width and height must be positive")
+    canvas = [[" "] * width for _ in range(height)]
+    # Level-1 grid lines.
+    if tree.factors:
+        k = int(round(math.sqrt(tree.factors[0])))
+        for line in range(1, k):
+            col = min(int(line / k * width), width - 1)
+            for r in range(height):
+                canvas[r][col] = "|" if canvas[r][col] == " " else canvas[r][col]
+            row = min(int(line / k * height), height - 1)
+            for c in range(width):
+                canvas[row][c] = "-" if canvas[row][c] == " " else "+"
+    # Supernodes, deepest drawn first so higher levels overwrite.
+    for node in sorted(tree.all_squares(), key=lambda s: -s.depth):
+        if node.supernode < 0:
+            continue
+        x, y = tree.positions[node.supernode]
+        col = min(int(x * width), width - 1)
+        row = min(int(y * height), height - 1)
+        level = min(tree.levels - node.depth, 9)
+        canvas[height - 1 - row][col] = str(level)
+    header = "+" + "-" * width + "+"
+    body = ["|" + "".join(row) + "|" for row in canvas]
+    legend = "  digits = supernode Levels (paper §4.1); lines = level-1 squares"
+    return "\n".join([header, *body, header, legend])

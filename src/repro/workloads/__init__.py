@@ -1,0 +1,27 @@
+"""Initial measurement fields for the sensors.
+
+The paper's guarantees are worst-case over ``x(0)``; the experiments
+exercise fields with very different spatial structure, because gossip
+variants differ most on spatially correlated data (a single hot sensor, a
+linear gradient across the field, a localised plume) versus uncorrelated
+noise.  All generators take node positions so the field is a function of
+where each sensor sits.
+"""
+
+from repro.workloads.fields import (
+    checkerboard_field,
+    gaussian_plume_field,
+    linear_gradient_field,
+    random_field,
+    spike_field,
+    FIELD_GENERATORS,
+)
+
+__all__ = [
+    "FIELD_GENERATORS",
+    "checkerboard_field",
+    "gaussian_plume_field",
+    "linear_gradient_field",
+    "random_field",
+    "spike_field",
+]

@@ -1,0 +1,119 @@
+"""Initial-value field generators.
+
+Each generator maps sensor positions to one measurement per sensor.  The
+scenarios mirror the sensor-network motivation of the gossip literature:
+
+* ``spike_field`` — one sensor observed an event, everyone else zero (the
+  hardest case for local gossip: mass must travel across the network).
+* ``linear_gradient_field`` — a smooth trend (e.g. temperature across a
+  field); spatially adjacent sensors nearly agree, so local averaging
+  looks deceptively converged while the global average is far away.
+* ``gaussian_plume_field`` — a localised emission plume.
+* ``checkerboard_field`` — high-frequency alternation; the easy case for
+  local gossip.
+* ``random_field`` — i.i.d. noise, the standard benchmark workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "spike_field",
+    "linear_gradient_field",
+    "gaussian_plume_field",
+    "checkerboard_field",
+    "random_field",
+    "FIELD_GENERATORS",
+]
+
+
+def _check_positions(positions: np.ndarray) -> np.ndarray:
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError(f"positions must have shape (n, 2), got {positions.shape}")
+    if len(positions) == 0:
+        raise ValueError("need at least one sensor")
+    return positions
+
+
+def spike_field(
+    positions: np.ndarray,
+    rng: np.random.Generator,
+    magnitude: float = 1.0,
+) -> np.ndarray:
+    """All zeros except one uniformly chosen sensor reading ``magnitude``."""
+    positions = _check_positions(positions)
+    values = np.zeros(len(positions))
+    values[rng.integers(len(positions))] = magnitude
+    return values
+
+
+def linear_gradient_field(
+    positions: np.ndarray,
+    rng: np.random.Generator,
+    noise: float = 0.0,
+) -> np.ndarray:
+    """A plane ``a·x + b·y`` with random orientation plus optional noise."""
+    positions = _check_positions(positions)
+    angle = rng.uniform(0.0, 2.0 * np.pi)
+    direction = np.array([np.cos(angle), np.sin(angle)])
+    values = positions @ direction
+    if noise > 0:
+        values = values + rng.normal(scale=noise, size=len(positions))
+    return values
+
+
+def gaussian_plume_field(
+    positions: np.ndarray,
+    rng: np.random.Generator,
+    width: float = 0.15,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """A Gaussian bump centred at a random location (a pollutant plume)."""
+    positions = _check_positions(positions)
+    if width <= 0:
+        raise ValueError(f"plume width must be positive, got {width}")
+    center = rng.random(2)
+    sq = ((positions - center) ** 2).sum(axis=1)
+    return amplitude * np.exp(-sq / (2.0 * width**2))
+
+
+def checkerboard_field(
+    positions: np.ndarray,
+    rng: np.random.Generator,
+    cells_per_axis: int = 8,
+) -> np.ndarray:
+    """±1 by checkerboard cell parity — high spatial frequency."""
+    positions = _check_positions(positions)
+    if cells_per_axis <= 0:
+        raise ValueError(f"cells_per_axis must be positive, got {cells_per_axis}")
+    cols = np.clip(
+        (positions[:, 0] * cells_per_axis).astype(int), 0, cells_per_axis - 1
+    )
+    rows = np.clip(
+        (positions[:, 1] * cells_per_axis).astype(int), 0, cells_per_axis - 1
+    )
+    return np.where((rows + cols) % 2 == 0, 1.0, -1.0)
+
+
+def random_field(
+    positions: np.ndarray,
+    rng: np.random.Generator,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """I.i.d. ``N(0, scale²)`` readings — the standard benchmark field."""
+    positions = _check_positions(positions)
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return rng.normal(scale=scale, size=len(positions))
+
+
+#: Name → generator registry used by the experiment harness.
+FIELD_GENERATORS = {
+    "spike": spike_field,
+    "gradient": linear_gradient_field,
+    "plume": gaussian_plume_field,
+    "checkerboard": checkerboard_field,
+    "random": random_field,
+}

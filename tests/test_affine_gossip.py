@@ -1,0 +1,148 @@
+"""Unit tests for repro.gossip.affine (Lemma 1 / Lemma 2 dynamics)."""
+
+import numpy as np
+import pytest
+
+from repro.gossip import (
+    AffineGossipKn,
+    PerturbedAffineGossipKn,
+    affine_pair_update,
+    sample_alphas,
+)
+
+
+class TestSampleAlphas:
+    def test_range(self):
+        alphas = sample_alphas(1000, np.random.default_rng(3))
+        assert (alphas > 1 / 3).all()
+        assert (alphas < 1 / 2).all()
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            sample_alphas(0, np.random.default_rng(1))
+
+
+class TestAffinePairUpdate:
+    def test_conserves_sum(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(size=10)
+        total = values.sum()
+        affine_pair_update(values, 2, 7, 0.4, 0.45)
+        assert values.sum() == pytest.approx(total)
+
+    def test_uses_pre_exchange_values(self):
+        values = np.array([1.0, 0.0])
+        affine_pair_update(values, 0, 1, 0.4, 0.4)
+        # x0 = 0.6*1 + 0.4*0 = 0.6 ; x1 = 0.6*0 + 0.4*1 = 0.4
+        np.testing.assert_allclose(values, [0.6, 0.4])
+
+    def test_asymmetric_coefficients(self):
+        values = np.array([1.0, -1.0])
+        affine_pair_update(values, 0, 1, 0.35, 0.45)
+        # x0 = 0.65*1 + 0.45*(-1) = 0.2 ; x1 = 0.55*(-1) + 0.35*1 = -0.2
+        np.testing.assert_allclose(values, [0.2, -0.2])
+
+    def test_equal_half_is_plain_averaging(self):
+        values = np.array([3.0, 5.0])
+        affine_pair_update(values, 0, 1, 0.5, 0.5)
+        np.testing.assert_allclose(values, [4.0, 4.0])
+
+    def test_rejects_same_node(self):
+        with pytest.raises(ValueError):
+            affine_pair_update(np.zeros(3), 1, 1, 0.4, 0.4)
+
+    def test_non_convex_coefficient_expands(self):
+        # α > 1 (the hierarchical regime before normalisation) moves a value
+        # past its partner — the "counter-intuitive" affine behaviour.
+        values = np.array([0.0, 1.0])
+        affine_pair_update(values, 0, 1, 2.0, 2.0)
+        assert values[0] > 1.0 or values[0] < 0.0
+
+
+class TestAffineGossipKn:
+    def test_requires_alphas_or_rng(self):
+        with pytest.raises(ValueError):
+            AffineGossipKn(10)
+
+    def test_rejects_wrong_alpha_shape(self):
+        with pytest.raises(ValueError):
+            AffineGossipKn(10, alphas=np.full(9, 0.4))
+
+    def test_converges(self):
+        n = 64
+        algo = AffineGossipKn(n, alpha_rng=np.random.default_rng(7))
+        rng = np.random.default_rng(11)
+        x0 = rng.normal(size=n)
+        result = algo.run(x0, epsilon=0.02, rng=rng)
+        assert result.converged
+        assert result.values.sum() == pytest.approx(x0.sum(), rel=1e-9)
+
+    def test_lemma1_contraction_in_expectation(self):
+        # Average over trials: E||x(t)||^2 should sit below (1 - 1/2n)^t.
+        n, ticks, trials = 16, 400, 40
+        bound_rate = 1 - 1 / (2 * n)
+        rng = np.random.default_rng(13)
+        ratios = []
+        for _ in range(trials):
+            algo = AffineGossipKn(n, alpha_rng=rng)
+            x = rng.normal(size=n)
+            x -= x.mean()
+            x0_sq = (x**2).sum()
+            from repro.routing import TransmissionCounter
+
+            counter = TransmissionCounter()
+            for _t in range(ticks):
+                algo.tick(int(rng.integers(n)), x, counter, rng)
+            ratios.append((x**2).sum() / x0_sq)
+        assert np.mean(ratios) < bound_rate**ticks
+
+    def test_partner_never_self(self):
+        algo = AffineGossipKn(5, alpha_rng=np.random.default_rng(17))
+        rng = np.random.default_rng(19)
+        for node in range(5):
+            for _ in range(100):
+                assert algo._choose_partner(node, rng) != node
+
+
+class TestPerturbedAffineGossipKn:
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError):
+            PerturbedAffineGossipKn(
+                8, noise_bound=-0.1, alpha_rng=np.random.default_rng(1)
+            )
+
+    def test_sum_still_conserved(self):
+        n = 32
+        algo = PerturbedAffineGossipKn(
+            n, noise_bound=0.01, alpha_rng=np.random.default_rng(23)
+        )
+        rng = np.random.default_rng(29)
+        x0 = rng.normal(size=n)
+        result = algo.run(x0, epsilon=0.2, rng=rng, max_ticks=5000)
+        assert result.values.sum() == pytest.approx(x0.sum(), rel=1e-9)
+
+    def test_error_floor_scales_with_noise(self):
+        # With large noise the process cannot reach a tight ε.
+        n = 32
+        rng = np.random.default_rng(31)
+        x0 = rng.normal(size=n)
+        noisy = PerturbedAffineGossipKn(
+            n, noise_bound=0.5, alpha_rng=np.random.default_rng(3)
+        ).run(x0, epsilon=1e-4, rng=np.random.default_rng(4), max_ticks=20_000)
+        quiet = PerturbedAffineGossipKn(
+            n, noise_bound=1e-6, alpha_rng=np.random.default_rng(3)
+        ).run(x0, epsilon=1e-4, rng=np.random.default_rng(4), max_ticks=20_000)
+        assert quiet.error < noisy.error
+
+    def test_zero_noise_matches_unperturbed_statistics(self):
+        n = 24
+        x0 = np.random.default_rng(37).normal(size=n)
+        a = PerturbedAffineGossipKn(
+            n, noise_bound=0.0, alpha_rng=np.random.default_rng(5)
+        ).run(x0, epsilon=0.05, rng=np.random.default_rng(6))
+        b = AffineGossipKn(n, alpha_rng=np.random.default_rng(5)).run(
+            x0, epsilon=0.05, rng=np.random.default_rng(6)
+        )
+        # Same alpha seed; tick-level RNG consumption differs (the noise
+        # draw), so require qualitative agreement only.
+        assert a.converged and b.converged

@@ -1,0 +1,79 @@
+"""Unit tests for repro.analysis.lemma2."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    lemma2_bound,
+    lemma2_empirical_exceedance,
+    lemma2_failure_probability,
+)
+
+
+class TestLemma2Bound:
+    def test_formula(self):
+        n, t, y0, eps, a = 16, 100, 2.0, 0.01, 1.0
+        decay = (1 - 1 / (2 * n)) ** (t / 2)
+        expected = n ** (a / 2) * (decay * y0 + 8 * np.sqrt(2) * n**1.5 * eps)
+        assert lemma2_bound(t, n, y0, eps, a) == pytest.approx(expected)
+
+    def test_noise_floor_remains_at_large_t(self):
+        n, eps = 32, 1e-3
+        late = lemma2_bound(10_000_000, n, 1.0, eps)
+        floor = n**0.5 * 8 * np.sqrt(2) * n**1.5 * eps
+        assert late == pytest.approx(floor, rel=1e-6)
+
+    def test_monotone_decreasing_in_t(self):
+        values = [lemma2_bound(t, 16, 1.0, 0.01) for t in (0, 10, 100, 1000)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_zero_noise_pure_decay(self):
+        n = 16
+        b0 = lemma2_bound(0, n, 1.0, 0.0)
+        b_late = lemma2_bound(5000, n, 1.0, 0.0)
+        assert b0 == pytest.approx(np.sqrt(n))
+        assert b_late < 1e-20
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            lemma2_bound(-1, 16, 1.0, 0.01)
+        with pytest.raises(ValueError):
+            lemma2_bound(10, 1, 1.0, 0.01)
+        with pytest.raises(ValueError):
+            lemma2_bound(10, 16, -1.0, 0.01)
+
+
+class TestFailureProbability:
+    def test_value(self):
+        assert lemma2_failure_probability(100, a=1.0) == pytest.approx(0.05)
+        assert lemma2_failure_probability(10, a=2.0) == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma2_failure_probability(1)
+
+
+class TestEmpiricalExceedance:
+    def test_exceedance_within_budget(self):
+        # Lemma 2 promises exceedance ≤ 5/n^a; the bound is loose, so the
+        # measured rate should be far below the allowance (often zero).
+        rng = np.random.default_rng(19)
+        report = lemma2_empirical_exceedance(
+            n=16, noise_bound=0.01, ticks=400, trials=40, rng=rng
+        )
+        assert report["exceedance_rate"] <= report["allowed_rate"]
+
+    def test_report_fields(self):
+        rng = np.random.default_rng(23)
+        report = lemma2_empirical_exceedance(
+            n=8, noise_bound=0.05, ticks=50, trials=5, rng=rng
+        )
+        assert set(report) == {"exceedance_rate", "allowed_rate", "trials"}
+        assert report["trials"] == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma2_empirical_exceedance(
+                n=8, noise_bound=0.1, ticks=10, trials=0,
+                rng=np.random.default_rng(1),
+            )

@@ -1,0 +1,123 @@
+"""Unit tests for repro.analysis.mixing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    averaging_time_bound,
+    gossip_averaging_matrix,
+    random_walk_matrix,
+    second_eigenvalue,
+    spectral_gap,
+)
+from repro.graphs import (
+    RandomGeometricGraph,
+    complete_graph_adjacency,
+    grid_graph_adjacency,
+    ring_graph_adjacency,
+)
+
+
+class TestRandomWalkMatrix:
+    def test_rows_stochastic(self):
+        matrix = random_walk_matrix(ring_graph_adjacency(10))
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+
+    def test_isolated_node_self_loop(self):
+        neighbors = [np.array([], dtype=np.int64)]
+        matrix = random_walk_matrix(neighbors)
+        assert matrix[0, 0] == 1.0
+
+    def test_ring_walk_values(self):
+        matrix = random_walk_matrix(ring_graph_adjacency(6))
+        assert matrix[0, 1] == pytest.approx(0.5)
+        assert matrix[0, 5] == pytest.approx(0.5)
+        assert matrix[0, 0] == 0.0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            random_walk_matrix([])
+
+
+class TestGossipAveragingMatrix:
+    def test_symmetric_doubly_stochastic(self):
+        matrix = gossip_averaging_matrix(ring_graph_adjacency(8))
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+        np.testing.assert_allclose(matrix.sum(axis=0), 1.0)
+
+    def test_preserves_consensus(self):
+        matrix = gossip_averaging_matrix(grid_graph_adjacency(3, 3))
+        ones = np.ones(9)
+        np.testing.assert_allclose(matrix @ ones, ones)
+
+    def test_complete_graph_eigenvalue(self):
+        # Boyd et al.: on K_n, λ₂(W̄) = 1 − 1/(n−1)·(…) — in this exact
+        # construction λ₂ = 1 − 1/(n−1) for the natural uniform choice.
+        n = 12
+        lam = second_eigenvalue(gossip_averaging_matrix(complete_graph_adjacency(n)))
+        assert lam == pytest.approx(1.0 - 1.0 / (n - 1), rel=1e-9)
+
+
+class TestSpectralGap:
+    def test_complete_beats_ring(self):
+        n = 24
+        assert spectral_gap(complete_graph_adjacency(n)) > spectral_gap(
+            ring_graph_adjacency(n)
+        )
+
+    def test_rgg_gap_scales_like_radius_squared(self):
+        # 1 − λ₂(W̄) = Θ(r²): doubling the radius should grow the gap
+        # by roughly 4x (within broad tolerance).
+        rng = np.random.default_rng(43)
+        graph_small = RandomGeometricGraph.sample_connected(
+            200, rng, radius=0.12
+        )
+        graph_large = RandomGeometricGraph.build(
+            graph_small.positions, radius=0.24
+        )
+        ratio = spectral_gap(graph_large.neighbors) / spectral_gap(
+            graph_small.neighbors
+        )
+        assert 1.8 < ratio < 9.0
+
+    def test_disconnected_graph_zero_gap(self):
+        neighbors = [
+            np.array([1]), np.array([0]), np.array([3]), np.array([2]),
+        ]
+        assert spectral_gap(neighbors) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestAveragingTimeBound:
+    def test_matches_measured_randomized_gossip(self):
+        # Boyd: T_ave(ε) ≤ 3 log(1/ε)/log(1/λ₂); measured ticks should be
+        # the same order (the bound can be loose by a small factor).
+        from repro.gossip import RandomizedGossip
+
+        rng = np.random.default_rng(47)
+        graph = RandomGeometricGraph.sample_connected(128, rng, radius_constant=2.5)
+        epsilon = 0.05
+        bound = averaging_time_bound(graph.neighbors, epsilon)
+        x0 = np.random.default_rng(53).normal(size=graph.n)
+        result = RandomizedGossip(graph.neighbors).run(
+            x0, epsilon, np.random.default_rng(59)
+        )
+        assert result.converged
+        assert result.ticks < 3.0 * bound
+        assert result.ticks > bound / 30.0
+
+    def test_monotone_in_epsilon(self):
+        adjacency = grid_graph_adjacency(4, 4)
+        assert averaging_time_bound(adjacency, 0.01) > averaging_time_bound(
+            adjacency, 0.1
+        )
+
+    def test_disconnected_graph_infinite(self):
+        neighbors = [
+            np.array([1]), np.array([0]), np.array([3]), np.array([2]),
+        ]
+        assert averaging_time_bound(neighbors, 0.1) == np.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            averaging_time_bound(ring_graph_adjacency(5), 1.5)

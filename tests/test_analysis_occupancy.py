@@ -1,0 +1,119 @@
+"""Unit tests for repro.analysis.occupancy."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    max_occupancy_deviation,
+    occupancy_deviation_bound,
+    paper_occupancy_condition,
+)
+from repro.geometry import random_points
+
+
+class TestChernoffTails:
+    def test_upper_tail_decreases_with_deviation(self):
+        probabilities = [chernoff_upper_tail(100, d) for d in (0.1, 0.2, 0.5)]
+        assert probabilities[0] > probabilities[1] > probabilities[2]
+
+    def test_lower_tail_decreases_with_deviation(self):
+        probabilities = [chernoff_lower_tail(100, d) for d in (0.1, 0.2, 0.5)]
+        assert probabilities[0] > probabilities[1] > probabilities[2]
+
+    def test_zero_deviation_gives_one(self):
+        assert chernoff_upper_tail(50, 0.0) == 1.0
+        assert chernoff_lower_tail(50, 0.0) == 1.0
+
+    def test_tails_bound_binomial_empirically(self):
+        rng = np.random.default_rng(29)
+        n, p, deviation = 10_000, 0.01, 0.3
+        mean = n * p
+        draws = rng.binomial(n, p, size=4000)
+        upper_rate = float(np.mean(draws >= (1 + deviation) * mean))
+        lower_rate = float(np.mean(draws <= (1 - deviation) * mean))
+        assert upper_rate <= chernoff_upper_tail(mean, deviation)
+        assert lower_rate <= chernoff_lower_tail(mean, deviation)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(0.0, 0.1)
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(10, -0.1)
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10, 1.5)
+
+
+class TestDeviationBound:
+    def test_shrinks_with_expected_occupancy(self):
+        loose = occupancy_deviation_bound(16, squares=64, failure_probability=0.01)
+        tight = occupancy_deviation_bound(4096, squares=64, failure_probability=0.01)
+        assert tight < loose
+
+    def test_grows_with_square_count(self):
+        few = occupancy_deviation_bound(100, squares=4, failure_probability=0.01)
+        many = occupancy_deviation_bound(100, squares=4096, failure_probability=0.01)
+        assert many > few
+
+    def test_paper_tenth_requires_large_occupancy(self):
+        # |#/E# − 1| < 1/10 w.h.p. needs E# ≫ 300·log(squares): the reason
+        # behind the (log n)^8 leaf threshold.
+        assert occupancy_deviation_bound(10_000, 100, 0.01) < 0.1
+        assert occupancy_deviation_bound(30, 100, 0.01) > 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            occupancy_deviation_bound(0, 10, 0.1)
+        with pytest.raises(ValueError):
+            occupancy_deviation_bound(10, 10, 1.0)
+
+
+class TestMeasuredDeviation:
+    def test_uniform_grid_has_zero_deviation(self):
+        # Four points placed at the four cell centres of a 2x2 grid.
+        positions = np.array(
+            [[0.25, 0.25], [0.75, 0.25], [0.25, 0.75], [0.75, 0.75]]
+        )
+        assert max_occupancy_deviation(positions, 2) == 0.0
+
+    def test_all_points_in_one_cell(self):
+        positions = np.full((8, 2), 0.1)
+        # One cell holds 8 (expected 2): deviation 3; others hold 0: dev 1.
+        assert max_occupancy_deviation(positions, 2) == pytest.approx(3.0)
+
+    def test_random_points_concentrate(self):
+        rng = np.random.default_rng(31)
+        positions = random_points(40_000, rng)
+        deviation = max_occupancy_deviation(positions, 10)
+        # E# = 400 per cell: Chernoff keeps deviation well under 25%.
+        assert deviation < 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_occupancy_deviation(np.zeros((4, 3)), 2)
+        with pytest.raises(ValueError):
+            max_occupancy_deviation(np.zeros((4, 2)), 0)
+
+
+class TestPaperCondition:
+    def test_report_fields(self):
+        rng = np.random.default_rng(37)
+        report = paper_occupancy_condition(random_points(4096, rng))
+        assert report["n"] == 4096
+        assert report["squares"] == 64
+        assert report["expected_per_square"] == pytest.approx(64.0)
+        assert report["max_deviation"] >= 0.0
+
+    def test_condition_eventually_holds(self):
+        # At n = 4096 the expected occupancy (64) is still too small for a
+        # uniform 10% band over 64 squares; the report must say *whether*
+        # it held, and the deviation must shrink with n.
+        rng = np.random.default_rng(41)
+        small = paper_occupancy_condition(random_points(1024, rng))
+        large = paper_occupancy_condition(random_points(65_536, rng))
+        assert large["max_deviation"] < small["max_deviation"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paper_occupancy_condition(np.zeros((2, 2)))

@@ -1,0 +1,115 @@
+"""Unit tests for repro.analysis.theory."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    geographic_gossip_prediction,
+    hierarchical_prediction,
+    paper_headline_form,
+    randomized_gossip_prediction,
+)
+from repro.experiments import fit_loglog_slope
+
+
+def slope_of(fn, sizes=(1024, 4096, 16384, 65536), **kwargs):
+    costs = [fn(n, 0.1, **kwargs) for n in sizes]
+    return fit_loglog_slope(np.array(sizes), np.array(costs))
+
+
+class TestPredictedExponents:
+    def test_randomized_slope_near_two(self):
+        slope = slope_of(randomized_gossip_prediction)
+        assert 1.7 < slope < 2.05
+
+    def test_geographic_slope_near_three_halves(self):
+        slope = slope_of(geographic_gossip_prediction)
+        assert 1.4 < slope < 1.65
+
+    def test_hierarchical_slope_near_one(self):
+        slope = slope_of(hierarchical_prediction)
+        assert 0.9 < slope < 1.45
+
+    def test_ordering_at_asymptotic_n(self):
+        # The paper's ranking emerges at large n: the headline shape
+        # n·polylog^{loglog} undercuts geographic's n^1.5 which undercuts
+        # randomized's n²/log n.
+        n, eps = 10**8, 0.1
+        headline = paper_headline_form(n, eps)
+        geographic = geographic_gossip_prediction(n, eps)
+        randomized = randomized_gossip_prediction(n, eps)
+        assert headline < geographic < randomized
+
+    def test_worst_case_recurrence_has_huge_constants(self):
+        # The honest cost story: the non-adaptive recurrence (paper
+        # constants structure) exceeds geographic gossip at simulable n —
+        # the asymptotic win needs very large n.
+        n, eps = 4096, 0.1
+        assert hierarchical_prediction(n, eps) > geographic_gossip_prediction(
+            n, eps
+        )
+
+    def test_headline_form_slope_approaches_one(self):
+        # d log(cost)/d log(n) → 1 as n grows (the o(1) shrinks).
+        small = fit_loglog_slope(
+            np.array([1e3, 4e3]),
+            np.array([paper_headline_form(1000, 0.1), paper_headline_form(4000, 0.1)]),
+        )
+        large = fit_loglog_slope(
+            np.array([1e8, 4e8]),
+            np.array(
+                [
+                    paper_headline_form(10**8, 0.1),
+                    paper_headline_form(4 * 10**8, 0.1),
+                ]
+            ),
+        )
+        assert large < small
+        assert large < 1.8
+
+
+class TestPredictionBehaviour:
+    def test_all_grow_with_n(self):
+        for fn in (
+            randomized_gossip_prediction,
+            geographic_gossip_prediction,
+            hierarchical_prediction,
+        ):
+            assert fn(4096, 0.1) > fn(512, 0.1)
+
+    def test_all_grow_as_epsilon_shrinks(self):
+        for fn in (
+            randomized_gossip_prediction,
+            geographic_gossip_prediction,
+            hierarchical_prediction,
+        ):
+            assert fn(4096, 0.01) > fn(4096, 0.3)
+
+    def test_validation(self):
+        for fn in (
+            randomized_gossip_prediction,
+            geographic_gossip_prediction,
+            hierarchical_prediction,
+            paper_headline_form,
+        ):
+            with pytest.raises(ValueError):
+                fn(2, 0.1)
+            with pytest.raises(ValueError):
+                fn(100, 1.5)
+
+    def test_rough_agreement_with_measured_randomized(self):
+        # The model should land within an order of magnitude of a real run.
+        from repro.gossip import RandomizedGossip
+        from repro.graphs import RandomGeometricGraph
+
+        rng = np.random.default_rng(61)
+        n, eps = 256, 0.1
+        graph = RandomGeometricGraph.sample_connected(n, rng)
+        x0 = np.random.default_rng(67).normal(size=n)
+        measured = (
+            RandomizedGossip(graph.neighbors)
+            .run(x0, eps, np.random.default_rng(71))
+            .total_transmissions
+        )
+        predicted = randomized_gossip_prediction(n, eps)
+        assert predicted / 10 < measured < predicted * 10

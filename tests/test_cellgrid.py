@@ -1,0 +1,96 @@
+"""Unit tests for repro.graphs.cellgrid."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import random_points
+from repro.graphs import CellGrid
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(13)
+
+
+class TestConstruction:
+    def test_rejects_bad_cell_side(self, rng):
+        with pytest.raises(ValueError):
+            CellGrid(random_points(10, rng), cell_side=0.0)
+
+    def test_rejects_bad_shape(self, rng):
+        with pytest.raises(ValueError):
+            CellGrid(np.zeros((5, 3)), cell_side=0.1)
+
+    def test_every_point_bucketed_once(self, rng):
+        pts = random_points(400, rng)
+        grid = CellGrid(pts, cell_side=0.13)
+        seen = np.concatenate(
+            [grid.cell_members(c) for c in range(len(grid.partition))]
+        )
+        assert len(seen) == 400
+        assert sorted(seen.tolist()) == list(range(400))
+
+    def test_members_are_in_their_cell(self, rng):
+        pts = random_points(200, rng)
+        grid = CellGrid(pts, cell_side=0.2)
+        for c in range(len(grid.partition)):
+            cell = grid.partition.cell(c)
+            for i in grid.cell_members(c):
+                assert cell.contains(pts[i])
+
+    def test_cell_side_never_below_request(self, rng):
+        grid = CellGrid(random_points(10, rng), cell_side=0.3)
+        assert grid.partition.cell_side >= 0.3
+
+
+class TestWithinQueries:
+    def test_matches_brute_force(self, rng):
+        pts = random_points(300, rng)
+        radius = 0.08
+        grid = CellGrid(pts, cell_side=radius)
+        for _ in range(30):
+            q = rng.random(2)
+            found = set(grid.within(q, radius).tolist())
+            dists = np.hypot(pts[:, 0] - q[0], pts[:, 1] - q[1])
+            expected = set(np.nonzero(dists <= radius)[0].tolist())
+            assert found == expected
+
+    def test_radius_larger_than_cell_rejected(self, rng):
+        grid = CellGrid(random_points(50, rng), cell_side=0.1)
+        with pytest.raises(ValueError):
+            grid.within(np.array([0.5, 0.5]), radius=0.5)
+
+    def test_empty_region_query(self):
+        pts = np.array([[0.9, 0.9]])
+        grid = CellGrid(pts, cell_side=0.1)
+        assert grid.within(np.array([0.1, 0.1]), 0.1).size == 0
+
+
+class TestNearestQueries:
+    def test_matches_brute_force(self, rng):
+        pts = random_points(250, rng)
+        grid = CellGrid(pts, cell_side=0.07)
+        for _ in range(50):
+            q = rng.random(2)
+            found = grid.nearest(q)
+            dists = np.hypot(pts[:, 0] - q[0], pts[:, 1] - q[1])
+            assert dists[found] == pytest.approx(dists.min())
+
+    def test_single_point(self):
+        grid = CellGrid(np.array([[0.2, 0.8]]), cell_side=0.25)
+        assert grid.nearest(np.array([0.9, 0.1])) == 0
+
+    def test_nearest_far_from_populated_cells(self, rng):
+        # All points clustered in one corner; query from the opposite corner
+        # must still find the true nearest (exercises the ring search).
+        pts = 0.05 * random_points(40, rng)
+        grid = CellGrid(pts, cell_side=0.04)
+        q = np.array([0.99, 0.99])
+        found = grid.nearest(q)
+        dists = np.hypot(pts[:, 0] - q[0], pts[:, 1] - q[1])
+        assert dists[found] == pytest.approx(dists.min())
+
+    def test_empty_grid_raises(self):
+        grid = CellGrid(np.empty((0, 2)), cell_side=0.2)
+        with pytest.raises(ValueError):
+            grid.nearest(np.array([0.5, 0.5]))

@@ -1,0 +1,86 @@
+"""Unit tests for repro.cli."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "hierarchical"
+        assert args.n == 512
+        assert args.epsilon == 0.2
+
+    def test_sweep_parsing(self):
+        args = build_parser().parse_args(
+            ["sweep", "--sizes", "64,128", "--trials", "1"]
+        )
+        assert args.sizes == "64,128"
+        assert args.trials == 1
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "telepathy"])
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        code = main(
+            [
+                "run",
+                "--algorithm",
+                "geographic",
+                "--n",
+                "128",
+                "--epsilon",
+                "0.3",
+                "--show-field",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged" in out
+        assert "transmissions" in out
+        assert "initial field" in out
+
+    def test_run_hierarchical(self, capsys):
+        code = main(["run", "--n", "128", "--epsilon", "0.3"])
+        assert code == 0
+        assert "hierarchical" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--sizes",
+                "64,128",
+                "--epsilon",
+                "0.3",
+                "--trials",
+                "1",
+                "--algorithms",
+                "geographic",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "log-log slope" in out
+
+    def test_inspect_command(self, capsys):
+        code = main(["inspect", "--n", "256", "--leaf-threshold", "24"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "factors" in out
+        assert "Levels" in out
+
+    def test_module_entry_point_importable(self):
+        import importlib
+
+        module = importlib.import_module("repro.cli")
+        assert callable(module.main)

@@ -1,0 +1,109 @@
+"""Unit tests for repro.clocks."""
+
+import numpy as np
+import pytest
+
+from repro.clocks import GlobalClock, PoissonClock, Tick, merge_ticks
+
+
+class TestTick:
+    def test_ordering_by_time(self):
+        assert Tick(1.0, 5) < Tick(2.0, 0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Tick(0.0, 0).time = 1.0
+
+
+class TestPoissonClock:
+    def test_times_strictly_increase(self):
+        clock = PoissonClock(0, np.random.default_rng(3))
+        times = [clock.next_tick().time for _ in range(100)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_gap_matches_rate(self):
+        clock = PoissonClock(0, np.random.default_rng(5), rate=4.0)
+        ticks = [clock.next_tick().time for _ in range(20_000)]
+        mean_gap = ticks[-1] / len(ticks)
+        assert mean_gap == pytest.approx(1.0 / 4.0, rel=0.05)
+
+    def test_ticks_until_horizon(self):
+        clock = PoissonClock(2, np.random.default_rng(7))
+        ticks = list(clock.ticks_until(5.0))
+        assert all(t.time <= 5.0 for t in ticks)
+        assert all(t.node == 2 for t in ticks)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PoissonClock(0, np.random.default_rng(1), rate=0.0)
+
+
+class TestGlobalClock:
+    def test_rate_is_n(self):
+        clock = GlobalClock(50, np.random.default_rng(11))
+        assert clock.rate == 50.0
+
+    def test_mean_gap(self):
+        n = 20
+        clock = GlobalClock(n, np.random.default_rng(13))
+        for _ in range(20_000):
+            clock.next_tick()
+        assert clock.now / clock.tick_count == pytest.approx(1.0 / n, rel=0.05)
+
+    def test_owners_uniform(self):
+        n = 10
+        clock = GlobalClock(n, np.random.default_rng(17))
+        counts = np.zeros(n)
+        draws = 50_000
+        for _ in range(draws):
+            counts[clock.next_tick().node] += 1
+        # Each node should own ~1/n of ticks; 5-sigma band.
+        expected = draws / n
+        sigma = np.sqrt(draws * (1 / n) * (1 - 1 / n))
+        assert np.abs(counts - expected).max() < 5 * sigma
+
+    def test_next_owner_counts_ticks(self):
+        clock = GlobalClock(5, np.random.default_rng(19))
+        clock.next_owner()
+        clock.next_owner()
+        assert clock.tick_count == 2
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            GlobalClock(0, np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            GlobalClock(5, np.random.default_rng(1), rate_per_node=-1.0)
+
+
+class TestEquivalence:
+    """The paper's Section 2 equivalence: n rate-1 clocks == one rate-n clock."""
+
+    def test_merged_stream_rate(self):
+        n, horizon = 10, 200.0
+        rng = np.random.default_rng(23)
+        clocks = [PoissonClock(i, rng) for i in range(n)]
+        merged = merge_ticks(clocks, horizon)
+        # Expect ~ n * horizon ticks.
+        assert len(merged) == pytest.approx(n * horizon, rel=0.1)
+
+    def test_merged_stream_sorted(self):
+        rng = np.random.default_rng(29)
+        clocks = [PoissonClock(i, rng) for i in range(5)]
+        merged = merge_ticks(clocks, 50.0)
+        times = [t.time for t in merged]
+        assert times == sorted(times)
+
+    def test_merged_owners_roughly_uniform(self):
+        n, horizon = 8, 500.0
+        rng = np.random.default_rng(31)
+        clocks = [PoissonClock(i, rng) for i in range(n)]
+        merged = merge_ticks(clocks, horizon)
+        counts = np.bincount([t.node for t in merged], minlength=n)
+        expected = len(merged) / n
+        assert np.abs(counts - expected).max() < 5 * np.sqrt(expected)
+
+    def test_merge_respects_horizon(self):
+        rng = np.random.default_rng(37)
+        clocks = [PoissonClock(i, rng) for i in range(3)]
+        merged = merge_ticks(clocks, 10.0)
+        assert all(t.time <= 10.0 for t in merged)

@@ -1,0 +1,125 @@
+"""Unit tests for repro.graphs.connectivity."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    RandomGeometricGraph,
+    UnionFind,
+    connected_components,
+    connectivity_probability,
+    connectivity_radius,
+    is_connected,
+    largest_component,
+    ring_graph_adjacency,
+)
+
+
+def adjacency_from_edges(n, edges):
+    out = [[] for _ in range(n)]
+    for u, v in edges:
+        out[u].append(v)
+        out[v].append(u)
+    return [np.array(sorted(adj), dtype=np.int64) for adj in out]
+
+
+class TestUnionFind:
+    def test_initial_components(self):
+        uf = UnionFind(5)
+        assert uf.components == 5
+
+    def test_union_reduces_components(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.union(2, 3)
+        assert uf.components == 2
+        assert not uf.union(1, 0)  # already merged
+
+    def test_find_transitive(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.find(0) == uf.find(2)
+        assert uf.find(3) != uf.find(0)
+
+    def test_component_size(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.component_size(2) == 3
+        assert uf.component_size(4) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            UnionFind(0)
+
+
+class TestConnectivityPredicates:
+    def test_path_graph_connected(self):
+        adj = adjacency_from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert is_connected(adj)
+
+    def test_two_islands_disconnected(self):
+        adj = adjacency_from_edges(4, [(0, 1), (2, 3)])
+        assert not is_connected(adj)
+
+    def test_empty_graph_connected(self):
+        assert is_connected([])
+
+    def test_singleton_connected(self):
+        assert is_connected([np.array([], dtype=np.int64)])
+
+    def test_ring_is_connected(self):
+        assert is_connected(ring_graph_adjacency(11))
+
+
+class TestComponents:
+    def test_components_partition_nodes(self):
+        adj = adjacency_from_edges(7, [(0, 1), (1, 2), (3, 4), (5, 6)])
+        comps = connected_components(adj)
+        assert sorted(len(c) for c in comps) == [2, 2, 3]
+        all_nodes = sorted(np.concatenate(comps).tolist())
+        assert all_nodes == list(range(7))
+
+    def test_components_sorted_by_size(self):
+        adj = adjacency_from_edges(6, [(0, 1), (2, 3), (3, 4)])
+        comps = connected_components(adj)
+        assert len(comps[0]) >= len(comps[1]) >= len(comps[2])
+
+    def test_largest_component(self):
+        adj = adjacency_from_edges(6, [(0, 1), (1, 2), (4, 5)])
+        np.testing.assert_array_equal(largest_component(adj), [0, 1, 2])
+
+
+class TestConnectivityProbability:
+    def test_near_one_at_generous_radius(self):
+        rng = np.random.default_rng(23)
+        p = connectivity_probability(
+            150, radius=connectivity_radius(150, constant=4.0), trials=20, rng=rng
+        )
+        assert p >= 0.95
+
+    def test_near_zero_at_tiny_radius(self):
+        rng = np.random.default_rng(29)
+        p = connectivity_probability(150, radius=0.01, trials=10, rng=rng)
+        assert p == 0.0
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(ValueError):
+            connectivity_probability(10, 0.1, 0, np.random.default_rng(1))
+
+    def test_monotone_in_radius_on_average(self):
+        # A sanity check of the sharp threshold: generous radius beats tiny.
+        rng = np.random.default_rng(31)
+        small = connectivity_probability(100, 0.05, 10, rng)
+        large = connectivity_probability(100, 0.4, 10, rng)
+        assert large >= small
+
+    def test_agreement_with_networkx(self):
+        import networkx as nx
+
+        rng = np.random.default_rng(37)
+        graph = RandomGeometricGraph.sample(120, rng)
+        assert is_connected(graph.neighbors) == nx.is_connected(
+            graph.to_networkx()
+        )

@@ -1,0 +1,35 @@
+"""Smoke tests: the example scripts compile and the quickstart runs."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+class TestExamples:
+    def test_examples_directory_populated(self):
+        scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 3, "the paper repo promises at least 3 examples"
+        assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+    @pytest.mark.parametrize(
+        "script",
+        sorted(p.name for p in EXAMPLES_DIR.glob("*.py")),
+    )
+    def test_example_compiles(self, script):
+        py_compile.compile(str(EXAMPLES_DIR / script), doraise=True)
+
+    def test_quickstart_runs_end_to_end(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py"), "128"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "transmissions" in completed.stdout
+        assert "Cheapest at this size" in completed.stdout

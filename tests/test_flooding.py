@@ -1,0 +1,61 @@
+"""Unit tests for repro.routing.flooding."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import RandomGeometricGraph, grid_graph_adjacency
+from repro.routing import TransmissionCounter, flood
+
+
+class TestFlood:
+    def test_reaches_all_members_on_connected_subset(self):
+        adj = grid_graph_adjacency(4, 4)
+        members = range(16)
+        reached = flood(adj, source=0, members=members)
+        assert sorted(reached) == list(range(16))
+
+    def test_source_first(self):
+        adj = grid_graph_adjacency(3, 3)
+        assert flood(adj, source=4, members=range(9))[0] == 4
+
+    def test_respects_member_boundary(self):
+        # Members are the left 2 columns of a 3x3 grid; the right column
+        # must not be reached even though edges exist.
+        adj = grid_graph_adjacency(3, 3)
+        members = [0, 1, 3, 4, 6, 7]
+        reached = flood(adj, source=0, members=members)
+        assert set(reached) <= set(members)
+        assert sorted(reached) == members
+
+    def test_unreachable_members_are_skipped(self):
+        # Members {0, 8} in a 3x3 grid with only corners as members:
+        # no intra-member path, so the far corner is not reached.
+        adj = grid_graph_adjacency(3, 3)
+        reached = flood(adj, source=0, members=[0, 8])
+        assert reached == [0]
+
+    def test_cost_equals_reached_count(self):
+        adj = grid_graph_adjacency(4, 4)
+        counter = TransmissionCounter()
+        reached = flood(adj, source=0, members=range(16), counter=counter)
+        assert counter.total == len(reached) == 16
+        assert counter.by_category["flood"] == 16
+
+    def test_rejects_external_source(self):
+        adj = grid_graph_adjacency(2, 2)
+        with pytest.raises(ValueError):
+            flood(adj, source=3, members=[0, 1])
+
+    def test_flood_square_of_rgg(self):
+        # Flooding the nodes of a subsquare reaches all of them when the
+        # square's intra-graph is connected (typical at generous radius).
+        rng = np.random.default_rng(71)
+        graph = RandomGeometricGraph.sample_connected(300, rng, radius_constant=4.0)
+        in_square = np.nonzero(
+            (graph.positions[:, 0] < 0.5) & (graph.positions[:, 1] < 0.5)
+        )[0]
+        source = int(in_square[0])
+        reached = flood(graph.neighbors, source, in_square.tolist())
+        # Most of the square reachable; all reached nodes are members.
+        assert set(reached) <= set(in_square.tolist())
+        assert len(reached) >= 0.9 * len(in_square)

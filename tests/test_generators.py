@@ -1,0 +1,105 @@
+"""Unit tests for repro.graphs.generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_graph_adjacency,
+    erdos_renyi_adjacency,
+    grid_graph_adjacency,
+    is_connected,
+    ring_graph_adjacency,
+)
+
+
+def assert_symmetric(adjacency):
+    for i, adj in enumerate(adjacency):
+        for j in adj:
+            assert i in adjacency[int(j)], f"edge {i}-{j} not symmetric"
+
+
+class TestCompleteGraph:
+    def test_degrees(self):
+        adj = complete_graph_adjacency(6)
+        assert all(len(a) == 5 for a in adj)
+
+    def test_no_self_loops(self):
+        adj = complete_graph_adjacency(4)
+        for i, a in enumerate(adj):
+            assert i not in a
+
+    def test_symmetric(self):
+        assert_symmetric(complete_graph_adjacency(5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            complete_graph_adjacency(0)
+
+
+class TestRing:
+    def test_degrees_are_two(self):
+        adj = ring_graph_adjacency(9)
+        assert all(len(a) == 2 for a in adj)
+
+    def test_wraps_around(self):
+        adj = ring_graph_adjacency(5)
+        assert 4 in adj[0] and 1 in adj[0]
+
+    def test_connected(self):
+        assert is_connected(ring_graph_adjacency(20))
+
+    def test_rejects_small(self):
+        with pytest.raises(ValueError):
+            ring_graph_adjacency(2)
+
+
+class TestGrid:
+    def test_corner_and_interior_degrees(self):
+        adj = grid_graph_adjacency(3, 4)
+        assert len(adj[0]) == 2  # corner
+        assert len(adj[5]) == 4  # interior (row 1, col 1)
+
+    def test_node_count(self):
+        assert len(grid_graph_adjacency(5, 7)) == 35
+
+    def test_connected_and_symmetric(self):
+        adj = grid_graph_adjacency(4, 4)
+        assert is_connected(adj)
+        assert_symmetric(adj)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            grid_graph_adjacency(0, 3)
+
+    def test_single_row_is_path(self):
+        adj = grid_graph_adjacency(1, 4)
+        assert len(adj[0]) == 1
+        assert len(adj[1]) == 2
+
+
+class TestErdosRenyi:
+    def test_p_one_gives_complete(self):
+        rng = np.random.default_rng(41)
+        adj = erdos_renyi_adjacency(6, 1.0, rng)
+        assert all(len(a) == 5 for a in adj)
+
+    def test_p_zero_gives_empty(self):
+        rng = np.random.default_rng(43)
+        adj = erdos_renyi_adjacency(6, 0.0, rng)
+        assert all(len(a) == 0 for a in adj)
+
+    def test_edge_density_close_to_p(self):
+        rng = np.random.default_rng(47)
+        n, p = 300, 0.1
+        adj = erdos_renyi_adjacency(n, p, rng)
+        edges = sum(len(a) for a in adj) / 2
+        possible = n * (n - 1) / 2
+        assert abs(edges / possible - p) < 0.01
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(53)
+        assert_symmetric(erdos_renyi_adjacency(40, 0.2, rng))
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_adjacency(5, 1.5, np.random.default_rng(1))

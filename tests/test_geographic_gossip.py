@@ -1,0 +1,78 @@
+"""Unit tests for repro.gossip.geographic (Dimakis et al. baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.gossip import GeographicGossip, RandomizedGossip
+from repro.graphs import RandomGeometricGraph
+
+
+@pytest.fixture(scope="module")
+def rgg():
+    rng = np.random.default_rng(149)
+    return RandomGeometricGraph.sample_connected(128, rng, radius_constant=2.5)
+
+
+class TestGeographicGossip:
+    def test_rejects_unknown_mode(self, rgg):
+        with pytest.raises(ValueError):
+            GeographicGossip(rgg, target_mode="telepathy")
+
+    def test_converges_uniform_mode(self, rgg):
+        algo = GeographicGossip(rgg)
+        rng = np.random.default_rng(151)
+        x0 = rng.normal(size=rgg.n)
+        result = algo.run(x0, epsilon=0.05, rng=rng)
+        assert result.converged
+        assert result.values.sum() == pytest.approx(x0.sum(), rel=1e-9)
+
+    def test_converges_position_mode(self, rgg):
+        algo = GeographicGossip(rgg, target_mode="position")
+        rng = np.random.default_rng(157)
+        result = algo.run(rng.normal(size=rgg.n), epsilon=0.1, rng=rng)
+        assert result.converged
+
+    def test_converges_rejection_mode_and_charges_overhead(self, rgg):
+        algo = GeographicGossip(rgg, target_mode="rejection")
+        rng = np.random.default_rng(163)
+        result = algo.run(rng.normal(size=rgg.n), epsilon=0.1, rng=rng)
+        assert result.converged
+        assert result.transmissions.get("route_rejected", 0) > 0
+
+    def test_transmissions_dominated_by_routing(self, rgg):
+        algo = GeographicGossip(rgg)
+        rng = np.random.default_rng(167)
+        result = algo.run(rng.normal(size=rgg.n), epsilon=0.1, rng=rng)
+        assert result.transmissions["route"] == result.total_transmissions
+        # Routed exchanges cost >> 2 per tick (that is the whole point).
+        assert result.total_transmissions > 2 * result.ticks
+
+    def test_fewer_transmissions_than_randomized_at_larger_n(self):
+        # The Õ(n^1.5) vs Õ(n²) separation needs (a) n past the crossover
+        # and (b) a *smooth* field: i.i.d. noise lives in fast eigenmodes
+        # and hides slow mixing, while a gradient excites the slow mode
+        # the spectral gap bounds (cf. E7/E8, which use gradients).
+        from repro.workloads import linear_gradient_field
+
+        rng = np.random.default_rng(149)
+        big = RandomGeometricGraph.sample_connected(512, rng, radius_constant=2.0)
+        x0 = linear_gradient_field(big.positions, np.random.default_rng(173))
+        geo = GeographicGossip(big).run(
+            x0, epsilon=0.1, rng=np.random.default_rng(2)
+        )
+        rnd = RandomizedGossip(big.neighbors).run(
+            x0, epsilon=0.1, rng=np.random.default_rng(2)
+        )
+        assert geo.converged and rnd.converged
+        assert geo.total_transmissions < rnd.total_transmissions
+
+    def test_uniform_targets_exclude_self(self, rgg):
+        algo = GeographicGossip(rgg)
+        rng = np.random.default_rng(179)
+        for node in (0, rgg.n // 2, rgg.n - 1):
+            for _ in range(50):
+                target = algo._choose_target(node, None, None, rng)
+                assert target != node
+
+    def test_failed_exchange_counter_starts_zero(self, rgg):
+        assert GeographicGossip(rgg).failed_exchanges == 0

@@ -1,0 +1,104 @@
+"""Unit tests for repro.geometry.points."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    distance_matrix,
+    euclidean_distance,
+    pairwise_within,
+    random_points,
+    squared_distances_to,
+    torus_distance,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestRandomPoints:
+    def test_shape_and_range(self, rng):
+        pts = random_points(100, rng)
+        assert pts.shape == (100, 2)
+        assert pts.min() >= 0.0
+        assert pts.max() <= 1.0
+
+    def test_rejects_nonpositive_count(self, rng):
+        with pytest.raises(ValueError):
+            random_points(0, rng)
+
+    def test_deterministic_given_seed(self):
+        a = random_points(10, np.random.default_rng(3))
+        b = random_points(10, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+    def test_roughly_uniform_quadrants(self, rng):
+        pts = random_points(8000, rng)
+        in_lower_left = ((pts[:, 0] < 0.5) & (pts[:, 1] < 0.5)).mean()
+        assert abs(in_lower_left - 0.25) < 0.02
+
+
+class TestDistances:
+    def test_euclidean_known_value(self):
+        assert euclidean_distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 5.0
+
+    def test_euclidean_is_symmetric(self, rng):
+        p, q = random_points(2, rng)
+        assert euclidean_distance(p, q) == pytest.approx(euclidean_distance(q, p))
+
+    def test_torus_wraps_around(self):
+        p = np.array([0.05, 0.5])
+        q = np.array([0.95, 0.5])
+        assert torus_distance(p, q) == pytest.approx(0.1)
+
+    def test_torus_never_exceeds_euclidean(self, rng):
+        for _ in range(50):
+            p, q = random_points(2, rng)
+            assert torus_distance(p, q) <= euclidean_distance(p, q) + 1e-12
+
+    def test_torus_max_distance(self):
+        # Farthest-apart torus points differ by 0.5 in both coordinates.
+        p = np.array([0.0, 0.0])
+        q = np.array([0.5, 0.5])
+        assert torus_distance(p, q) == pytest.approx(np.sqrt(0.5))
+
+    def test_squared_distances_to(self, rng):
+        pts = random_points(20, rng)
+        target = np.array([0.5, 0.5])
+        sq = squared_distances_to(pts, target)
+        expected = np.array([euclidean_distance(p, target) ** 2 for p in pts])
+        np.testing.assert_allclose(sq, expected)
+
+
+class TestDistanceMatrix:
+    def test_matches_pointwise(self, rng):
+        pts = random_points(15, rng)
+        mat = distance_matrix(pts)
+        for i in range(15):
+            for j in range(15):
+                assert mat[i, j] == pytest.approx(
+                    euclidean_distance(pts[i], pts[j])
+                )
+
+    def test_symmetry_and_zero_diagonal(self, rng):
+        mat = distance_matrix(random_points(30, rng))
+        np.testing.assert_allclose(mat, mat.T)
+        np.testing.assert_allclose(np.diag(mat), 0.0)
+
+
+class TestPairwiseWithin:
+    def test_no_self_loops(self, rng):
+        mask = pairwise_within(random_points(25, rng), radius=0.5)
+        assert not mask.diagonal().any()
+
+    def test_radius_one_connects_everything(self, rng):
+        # Diameter of the unit square is sqrt(2) > 1, so use radius sqrt(2).
+        mask = pairwise_within(random_points(10, rng), radius=np.sqrt(2.0))
+        off_diagonal = mask | np.eye(10, dtype=bool)
+        assert off_diagonal.all()
+
+    def test_tiny_radius_connects_nothing(self, rng):
+        mask = pairwise_within(random_points(10, rng), radius=1e-9)
+        assert not mask.any()

@@ -1,0 +1,108 @@
+"""Unit tests for repro.geometry.squares."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import GridPartition, Square, UNIT_SQUARE, random_points
+
+
+class TestSquare:
+    def test_unit_square_constants(self):
+        assert UNIT_SQUARE.x0 == 0.0
+        assert UNIT_SQUARE.side == 1.0
+        assert UNIT_SQUARE.area == 1.0
+        np.testing.assert_allclose(UNIT_SQUARE.center, [0.5, 0.5])
+
+    def test_rejects_nonpositive_side(self):
+        with pytest.raises(ValueError):
+            Square(0.0, 0.0, 0.0)
+
+    def test_bounds_properties(self):
+        sq = Square(0.25, 0.5, 0.25)
+        assert sq.x1 == pytest.approx(0.5)
+        assert sq.y1 == pytest.approx(0.75)
+        assert sq.diameter == pytest.approx(0.25 * np.sqrt(2.0))
+
+    def test_contains(self):
+        sq = Square(0.0, 0.0, 0.5)
+        assert sq.contains(np.array([0.25, 0.25]))
+        assert sq.contains(np.array([0.5, 0.5]))  # closed boundary
+        assert not sq.contains(np.array([0.51, 0.25]))
+
+    def test_contains_mask_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        pts = random_points(200, rng)
+        sq = Square(0.2, 0.3, 0.4)
+        mask = sq.contains_mask(pts)
+        expected = np.array([sq.contains(p) for p in pts])
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_subdivide_tiles_parent(self):
+        children = UNIT_SQUARE.subdivide(4)
+        assert len(children) == 16
+        assert sum(c.area for c in children) == pytest.approx(1.0)
+        # Row-major from bottom-left: first child at the origin.
+        assert children[0].x0 == 0.0 and children[0].y0 == 0.0
+        assert children[5].x0 == pytest.approx(0.25)
+        assert children[5].y0 == pytest.approx(0.25)
+
+    def test_subdivide_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            UNIT_SQUARE.subdivide(0)
+
+    def test_sample_point_inside(self):
+        rng = np.random.default_rng(11)
+        sq = Square(0.6, 0.1, 0.2)
+        for _ in range(100):
+            assert sq.contains(sq.sample_point(rng))
+
+
+class TestGridPartition:
+    def test_len_and_cells(self):
+        part = GridPartition(UNIT_SQUARE, 3)
+        assert len(part) == 9
+        assert len(part.cells) == 9
+        assert part.cell_side == pytest.approx(1.0 / 3.0)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ValueError):
+            GridPartition(UNIT_SQUARE, 0)
+
+    def test_cell_index_round_trip(self):
+        part = GridPartition(UNIT_SQUARE, 5)
+        rng = np.random.default_rng(2)
+        pts = random_points(500, rng)
+        for p in pts:
+            assert part.cell(part.cell_index(p)).contains(p)
+
+    def test_cell_indices_vectorised_matches_scalar(self):
+        part = GridPartition(UNIT_SQUARE, 7)
+        pts = random_points(300, np.random.default_rng(9))
+        vec = part.cell_indices(pts)
+        scalar = np.array([part.cell_index(p) for p in pts])
+        np.testing.assert_array_equal(vec, scalar)
+
+    def test_boundary_points_clamped(self):
+        part = GridPartition(UNIT_SQUARE, 4)
+        assert part.cell_index(np.array([1.0, 1.0])) == 15
+        assert part.cell_index(np.array([0.0, 0.0])) == 0
+
+    def test_row_col_inverse(self):
+        part = GridPartition(UNIT_SQUARE, 6)
+        for idx in range(36):
+            row, col = part.row_col(idx)
+            assert row * 6 + col == idx
+
+    def test_neighbors_of_corner_cell(self):
+        part = GridPartition(UNIT_SQUARE, 4)
+        assert sorted(part.neighbors_of_cell(0)) == [1, 4, 5]
+
+    def test_neighbors_of_interior_cell(self):
+        part = GridPartition(UNIT_SQUARE, 4)
+        assert len(part.neighbors_of_cell(5)) == 8
+
+    def test_partition_of_subsquare(self):
+        parent = Square(0.5, 0.5, 0.5)
+        part = GridPartition(parent, 2)
+        assert part.cell(0).x0 == pytest.approx(0.5)
+        assert part.cell_index(np.array([0.9, 0.9])) == 3

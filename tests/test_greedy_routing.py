@@ -1,0 +1,115 @@
+"""Unit tests for repro.routing.greedy."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import RandomGeometricGraph
+from repro.routing import GreedyRouter, TransmissionCounter
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(61)
+    return RandomGeometricGraph.sample_connected(400, rng, radius_constant=3.0)
+
+
+@pytest.fixture(scope="module")
+def router(graph):
+    return GreedyRouter(graph)
+
+
+class TestRouteToPosition:
+    def test_path_starts_at_source(self, router):
+        result = router.route_to_position(0, np.array([0.5, 0.5]))
+        assert result.path[0] == 0
+
+    def test_progress_monotone(self, graph, router):
+        target = np.array([0.9, 0.1])
+        result = router.route_to_position(3, target)
+        dists = [
+            np.hypot(*(graph.positions[v] - target)) for v in result.path
+        ]
+        assert all(b < a for a, b in zip(dists, dists[1:]))
+
+    def test_destination_is_local_minimum(self, graph, router):
+        target = np.array([0.25, 0.75])
+        result = router.route_to_position(7, target)
+        dest = result.destination
+        dest_dist = np.hypot(*(graph.positions[dest] - target))
+        for v in graph.neighbors[dest]:
+            neigh_dist = np.hypot(*(graph.positions[int(v)] - target))
+            assert neigh_dist >= dest_dist
+
+    def test_hops_counted(self, router):
+        counter = TransmissionCounter()
+        result = router.route_to_position(
+            0, np.array([0.95, 0.95]), counter=counter
+        )
+        assert counter.total == result.hops
+        assert counter.by_category["route"] == result.hops
+
+    def test_route_to_own_position_is_free(self, graph, router):
+        counter = TransmissionCounter()
+        result = router.route_to_position(
+            5, graph.positions[5], counter=counter
+        )
+        assert result.hops == 0
+        assert counter.total == 0
+
+    def test_hop_count_scales_with_distance(self, graph, router):
+        # A route across the square should take roughly distance/r hops.
+        corner_sw = graph.nearest_node(np.array([0.02, 0.02]))
+        result = router.route_to_position(corner_sw, np.array([0.98, 0.98]))
+        expected = np.sqrt(2.0) / graph.radius
+        assert 0.4 * expected <= result.hops <= 2.5 * expected
+
+
+class TestRouteToNode:
+    def test_delivers_to_target(self, graph, router):
+        rng = np.random.default_rng(67)
+        delivered = 0
+        trials = 50
+        for _ in range(trials):
+            src, dst = rng.integers(graph.n, size=2)
+            result = router.route_to_node(int(src), int(dst))
+            if result.delivered:
+                assert result.destination == dst
+                delivered += 1
+        # At radius_constant=3 voids are essentially absent.
+        assert delivered >= trials - 1
+
+    def test_self_route(self, router):
+        result = router.route_to_node(9, 9)
+        assert result.delivered
+        assert result.hops == 0
+
+    def test_round_trip_costs_both_ways(self, graph, router):
+        counter = TransmissionCounter()
+        forward, backward = router.round_trip(0, graph.n - 1, counter=counter)
+        assert counter.total == forward.hops + backward.hops
+        if forward.delivered and backward.delivered:
+            assert backward.destination == 0
+
+    def test_void_detected_on_sparse_graph(self):
+        # Hand-built void: target's only approach requires moving away first.
+        positions = np.array(
+            [
+                [0.10, 0.50],  # 0: source
+                [0.45, 0.50],  # 1: greedy local minimum (dead end)
+                [0.42, 0.80],  # 2: detour node, farther from target than 1
+                [0.75, 0.75],  # 3: second detour hop
+                [0.90, 0.50],  # 4: target
+            ]
+        )
+        graph = RandomGeometricGraph.build(positions, radius=0.35)
+        # The detour path 1-2-3-4 exists, so the graph is connected ...
+        assert graph.are_adjacent(1, 2) and graph.are_adjacent(2, 3)
+        assert graph.are_adjacent(3, 4)
+        # ... but node 1 has no neighbour closer to the target than itself.
+        router = GreedyRouter(graph)
+        result = router.route_to_node(0, 4)
+        assert not result.delivered
+        assert result.destination == 1
+
+    def test_expected_hops_formula(self, graph, router):
+        assert router.expected_hops(0.5) == pytest.approx(0.5 / graph.radius)

@@ -1,0 +1,199 @@
+"""Unit tests for repro.gossip.hierarchical.rounds (the round executor)."""
+
+import numpy as np
+import pytest
+
+from repro.gossip.hierarchical import (
+    CoefficientMode,
+    HierarchicalGossip,
+    ProtocolParameters,
+    RoundConfig,
+)
+from repro.graphs import RandomGeometricGraph
+from repro.hierarchy import HierarchyTree
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(223)
+    return RandomGeometricGraph.sample_connected(512, rng, radius_constant=2.0)
+
+
+@pytest.fixture(scope="module")
+def field(graph):
+    return np.random.default_rng(227).normal(size=graph.n)
+
+
+class TestConstruction:
+    def test_default_tree_built(self, graph):
+        algo = HierarchicalGossip(graph)
+        assert algo.tree.levels >= 2
+
+    def test_leaf_adjacency_restricted(self, graph):
+        algo = HierarchicalGossip(graph)
+        leaf_of = {}
+        for index, leaf in enumerate(algo.tree.leaves()):
+            for member in leaf.members:
+                leaf_of[int(member)] = index
+        for sensor in range(0, graph.n, 37):
+            local = algo._leaf_neighbors[sensor]
+            has_same_leaf_neighbor = any(
+                leaf_of[int(v)] == leaf_of[sensor]
+                for v in graph.neighbors[sensor]
+            )
+            if has_same_leaf_neighbor:
+                # Restriction applies: all Near partners share the leaf.
+                assert all(
+                    leaf_of[int(v)] == leaf_of[sensor] for v in local
+                )
+            else:
+                # D10 fallback: partners come from an ancestor square, so
+                # they are still graph neighbours.
+                assert set(local.tolist()) <= set(
+                    int(v) for v in graph.neighbors[sensor]
+                )
+
+    def test_rejects_bad_values_shape(self, graph):
+        algo = HierarchicalGossip(graph)
+        with pytest.raises(ValueError):
+            algo.run(np.zeros(graph.n + 1), 0.2, np.random.default_rng(1))
+
+    def test_rejects_bad_epsilon(self, graph, field):
+        algo = HierarchicalGossip(graph)
+        with pytest.raises(ValueError):
+            algo.run(field, 0.0, np.random.default_rng(1))
+
+
+class TestConvergence:
+    def test_converges_to_target(self, graph, field):
+        algo = HierarchicalGossip(graph)
+        result = algo.run(field, epsilon=0.2, rng=np.random.default_rng(3))
+        assert result.converged
+        assert result.error <= 0.2
+
+    def test_sum_conserved_to_machine_precision(self, graph, field):
+        algo = HierarchicalGossip(graph)
+        result = algo.run(field, epsilon=0.2, rng=np.random.default_rng(5))
+        assert result.values.sum() == pytest.approx(field.sum(), abs=1e-8)
+
+    def test_transmission_categories_present(self, graph, field):
+        algo = HierarchicalGossip(graph)
+        result = algo.run(field, epsilon=0.25, rng=np.random.default_rng(7))
+        for category in ("near", "far", "activation"):
+            assert result.transmissions.get(category, 0) > 0, category
+
+    def test_stats_recorded(self, graph, field):
+        algo = HierarchicalGossip(graph)
+        algo.run(field, epsilon=0.25, rng=np.random.default_rng(9))
+        assert sum(algo.stats.exchanges_by_depth.values()) > 0
+        assert sum(algo.stats.near_ticks_by_depth.values()) > 0
+        assert algo.stats.routing_failures == 0
+
+    def test_spike_field_converges(self, graph):
+        # The hardest workload: all mass on one sensor.
+        spike = np.zeros(graph.n)
+        spike[17] = 1.0
+        algo = HierarchicalGossip(graph)
+        result = algo.run(spike, epsilon=0.3, rng=np.random.default_rng(11))
+        assert result.converged
+
+    def test_already_converged_input_costs_nothing(self, graph):
+        algo = HierarchicalGossip(graph)
+        result = algo.run(
+            np.full(graph.n, 2.5), epsilon=0.2, rng=np.random.default_rng(13)
+        )
+        assert result.converged
+        assert result.total_transmissions == 0
+
+    def test_trace_monotone_transmissions(self, graph, field):
+        algo = HierarchicalGossip(graph)
+        result = algo.run(field, epsilon=0.25, rng=np.random.default_rng(15))
+        tx, _ = result.trace.as_arrays()
+        assert (np.diff(tx) >= 0).all()
+
+
+class TestCoefficientModes:
+    @pytest.mark.parametrize(
+        "mode",
+        [
+            CoefficientMode.CLAMPED,
+            CoefficientMode.ACTUAL_MIN,
+            CoefficientMode.CONVEX,
+        ],
+    )
+    def test_all_stable_modes_converge(self, graph, field, mode):
+        algo = HierarchicalGossip(graph, config=RoundConfig(coefficient_mode=mode))
+        result = algo.run(field, epsilon=0.3, rng=np.random.default_rng(17))
+        assert result.converged, mode
+
+    def test_convex_mode_worse_than_affine_at_tight_epsilon(self, graph, field):
+        # The paper's point: a convex supernode update moves O(1) mass per
+        # exchange where affine moves O(E#).  At ε small enough that
+        # cross-square mass must actually travel (ε ≪ sqrt(#leaves/n)),
+        # convex updates either miss the target or need far more
+        # transmissions.
+        epsilon = 0.08
+        affine = HierarchicalGossip(
+            graph, config=RoundConfig(coefficient_mode=CoefficientMode.CLAMPED)
+        )
+        affine_result = affine.run(
+            field, epsilon=epsilon, rng=np.random.default_rng(19)
+        )
+        convex = HierarchicalGossip(
+            graph, config=RoundConfig(coefficient_mode=CoefficientMode.CONVEX)
+        )
+        convex_result = convex.run(
+            field, epsilon=epsilon, rng=np.random.default_rng(19),
+            max_root_rounds=1,
+        )
+        assert affine_result.converged
+        assert (not convex_result.converged) or (
+            convex_result.total_transmissions
+            > affine_result.total_transmissions
+        )
+
+    def test_paper_expected_mode_runs(self, graph, field):
+        # With default (practical) leaf sizes this may or may not converge
+        # within one round (E10 studies exactly that); here we only require
+        # the executor to finish and conserve the sum.
+        algo = HierarchicalGossip(
+            graph,
+            config=RoundConfig(coefficient_mode=CoefficientMode.PAPER_EXPECTED),
+        )
+        result = algo.run(
+            field, epsilon=0.3, rng=np.random.default_rng(21), max_root_rounds=1
+        )
+        assert result.values.sum() == pytest.approx(field.sum(), abs=1e-6)
+
+
+class TestConfigurations:
+    def test_non_adaptive_runs_prescribed_counts(self, graph, field):
+        parameters = ProtocolParameters.practical(graph.n, 0.3, decay=0.3)
+        algo = HierarchicalGossip(
+            graph, parameters=parameters, config=RoundConfig(adaptive=False)
+        )
+        result = algo.run(
+            field, epsilon=0.3, rng=np.random.default_rng(23), max_root_rounds=1
+        )
+        # Non-adaptive rounds cannot stop early, so they do strictly more
+        # work than adaptive ones on the same instance.
+        adaptive = HierarchicalGossip(graph, parameters=parameters)
+        adaptive_result = adaptive.run(
+            field, epsilon=0.3, rng=np.random.default_rng(23)
+        )
+        assert result.total_transmissions > adaptive_result.total_transmissions
+        assert result.converged
+
+    def test_global_targets_ablation_runs(self, graph, field):
+        algo = HierarchicalGossip(
+            graph, config=RoundConfig(sibling_targets=False)
+        )
+        result = algo.run(field, epsilon=0.3, rng=np.random.default_rng(25))
+        assert result.values.sum() == pytest.approx(field.sum(), abs=1e-6)
+
+    def test_explicit_tree_is_used(self, graph, field):
+        tree = HierarchyTree.build(graph.positions, leaf_threshold=64.0)
+        algo = HierarchicalGossip(graph, tree=tree)
+        assert algo.tree is tree
+        result = algo.run(field, epsilon=0.3, rng=np.random.default_rng(27))
+        assert result.converged

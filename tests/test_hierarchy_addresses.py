@@ -1,0 +1,58 @@
+"""Unit tests for repro.hierarchy.addresses."""
+
+import pytest
+
+from repro.hierarchy import SquareAddress
+
+
+class TestSquareAddress:
+    def test_root(self):
+        root = SquareAddress()
+        assert root.is_root
+        assert root.depth == 0
+        assert str(root) == "□"
+
+    def test_child_and_parent_inverse(self):
+        addr = SquareAddress().child(3).child(1)
+        assert addr.depth == 2
+        assert addr.indices == (3, 1)
+        assert addr.parent == SquareAddress((3,))
+        assert addr.parent.parent == SquareAddress()
+
+    def test_root_parent_is_root(self):
+        assert SquareAddress().parent == SquareAddress()
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError):
+            SquareAddress((-1,))
+        with pytest.raises(ValueError):
+            SquareAddress().child(-2)
+
+    def test_str_format(self):
+        assert str(SquareAddress((3, 0, 2))) == "□[3.0.2]"
+
+    def test_hashable(self):
+        seen = {SquareAddress((1, 2)), SquareAddress((1, 2)), SquareAddress((2, 1))}
+        assert len(seen) == 2
+
+    def test_ancestry(self):
+        root = SquareAddress()
+        child = root.child(5)
+        grandchild = child.child(0)
+        assert root.is_ancestor_of(child)
+        assert root.is_ancestor_of(grandchild)
+        assert child.is_ancestor_of(grandchild)
+        assert not grandchild.is_ancestor_of(child)
+        assert not child.is_ancestor_of(child)
+
+    def test_ancestry_requires_prefix(self):
+        assert not SquareAddress((1,)).is_ancestor_of(SquareAddress((2, 0)))
+
+    def test_siblings(self):
+        a = SquareAddress((4, 1))
+        b = SquareAddress((4, 2))
+        c = SquareAddress((3, 2))
+        assert a.is_sibling_of(b)
+        assert not a.is_sibling_of(a)
+        assert not a.is_sibling_of(c)
+        assert not SquareAddress().is_sibling_of(SquareAddress())

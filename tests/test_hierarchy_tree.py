@@ -1,0 +1,155 @@
+"""Unit tests for repro.hierarchy.tree."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import random_points
+from repro.hierarchy import HierarchyTree, SquareAddress, paper_leaf_threshold
+
+
+@pytest.fixture(scope="module")
+def tree():
+    rng = np.random.default_rng(101)
+    positions = random_points(2048, rng)
+    return HierarchyTree.build(positions, leaf_threshold=32.0)
+
+
+class TestConstruction:
+    def test_rejects_bad_positions(self):
+        with pytest.raises(ValueError):
+            HierarchyTree(np.zeros((5, 3)), [4])
+
+    def test_rejects_non_square_factor(self):
+        with pytest.raises(ValueError):
+            HierarchyTree(np.zeros((5, 2)), [5])
+
+    def test_root_holds_everyone(self, tree):
+        assert tree.root.occupancy == 2048
+        assert tree.root.expected_count == 2048.0
+        assert tree.root.address.is_root
+
+    def test_levels_formula(self, tree):
+        assert tree.levels == len(tree.factors) + 1
+
+    def test_paper_threshold_gives_trivial_tree(self):
+        rng = np.random.default_rng(103)
+        positions = random_points(500, rng)
+        tree = HierarchyTree.build(
+            positions, leaf_threshold=paper_leaf_threshold(500)
+        )
+        assert tree.levels == 1
+        assert tree.root.is_leaf
+
+
+class TestPartitionInvariants:
+    def test_children_partition_members(self, tree):
+        for node in tree.all_squares():
+            if node.is_leaf:
+                continue
+            child_members = np.concatenate([c.members for c in node.children])
+            assert sorted(child_members.tolist()) == sorted(node.members.tolist())
+
+    def test_members_inside_their_square(self, tree):
+        for node in tree.all_squares():
+            for member in node.members:
+                assert node.square.contains(tree.positions[member])
+
+    def test_expected_counts_telescope(self, tree):
+        for node in tree.all_squares():
+            if not node.is_leaf:
+                for child in node.children:
+                    assert child.expected_count == pytest.approx(
+                        node.expected_count / len(node.children)
+                    )
+
+    def test_squares_at_depth_counts(self, tree):
+        count = 1
+        for depth, factor in enumerate(tree.factors):
+            assert len(tree.squares_at_depth(depth)) == count
+            count *= factor
+        assert len(tree.squares_at_depth(len(tree.factors))) == count
+
+    def test_depth_out_of_range(self, tree):
+        with pytest.raises(ValueError):
+            tree.squares_at_depth(len(tree.factors) + 1)
+
+    def test_leaves_have_no_children(self, tree):
+        for leaf in tree.leaves():
+            assert leaf.is_leaf
+            assert leaf.depth == len(tree.factors)
+
+
+class TestSupernodes:
+    def test_supernode_is_member(self, tree):
+        for node in tree.all_squares():
+            if node.supernode >= 0 and node.occupancy > 0:
+                assert node.supernode in node.members
+
+    def test_supernodes_distinct(self, tree):
+        elected = [
+            node.supernode for node in tree.all_squares() if node.supernode >= 0
+        ]
+        assert len(elected) == len(set(elected))
+
+    def test_supernode_near_center(self, tree):
+        # The supernode is the nearest *unclaimed* member; collisions are
+        # rare, so for most squares it is the true nearest member.
+        mismatches = 0
+        for node in tree.all_squares():
+            if node.supernode < 0:
+                continue
+            diff = tree.positions[node.members] - node.square.center
+            nearest = node.members[np.argmin(diff[:, 0] ** 2 + diff[:, 1] ** 2)]
+            if int(nearest) != node.supernode:
+                mismatches += 1
+        assert mismatches <= 0.05 * len(tree.all_squares())
+
+    def test_levels_assignment(self, tree):
+        assert tree.node_level(tree.root.supernode) == tree.levels
+        for leaf in tree.leaves():
+            if leaf.supernode >= 0:
+                assert tree.node_level(leaf.supernode) == 1
+
+    def test_ordinary_sensors_level_zero(self, tree):
+        supers = set(tree.supernodes())
+        for sensor in range(0, tree.n, 97):
+            if sensor not in supers:
+                assert tree.node_level(sensor) == 0
+
+    def test_supernode_count(self, tree):
+        expected = sum(
+            1 for node in tree.all_squares() if node.supernode >= 0
+        )
+        assert len(tree.supernodes()) == expected
+
+
+class TestQueries:
+    def test_node_by_address(self, tree):
+        first_child = tree.root.children[0]
+        assert tree.node(first_child.address) is first_child
+        assert tree.node(SquareAddress()) is tree.root
+
+    def test_occupancy_report_shape(self, tree):
+        report = tree.occupancy_report()
+        assert len(report) == tree.levels
+        assert report[0]["squares"] == 1
+        assert report[0]["max_ratio_deviation"] == pytest.approx(0.0)
+
+    def test_occupancy_concentration_at_top_level(self, tree):
+        # Paper §3 (Chernoff): |#/E# - 1| < 1/10 w.h.p. for the √n squares.
+        # At n=2048 fluctuations are larger; assert a loose band.
+        report = tree.occupancy_report()
+        assert report[1]["max_ratio_deviation"] < 1.0
+
+    def test_all_squares_bfs_order(self, tree):
+        depths = [node.depth for node in tree.all_squares()]
+        assert depths == sorted(depths)
+
+    def test_empty_square_handling(self):
+        # Cram 8 sensors into a corner so most level-1 squares are empty.
+        positions = 0.01 * random_points(8, np.random.default_rng(5))
+        tree = HierarchyTree(positions, [4])
+        empty = [node for node in tree.squares_at_depth(1) if node.occupancy == 0]
+        assert empty, "expected empty squares in this degenerate layout"
+        for node in empty:
+            assert node.supernode == -1

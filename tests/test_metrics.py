@@ -1,0 +1,121 @@
+"""Unit tests for repro.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    ConvergenceTrace,
+    consensus_value,
+    deviation_norm,
+    max_deviation,
+    normalized_error,
+    variance,
+)
+
+
+class TestErrorMetrics:
+    def test_consensus_value(self):
+        assert consensus_value(np.array([1.0, 2.0, 3.0])) == 2.0
+
+    def test_deviation_norm_at_consensus_is_zero(self):
+        assert deviation_norm(np.full(5, 3.7)) == 0.0
+
+    def test_deviation_norm_known_value(self):
+        # values [0, 2]: mean 1, deviations [-1, 1], norm sqrt(2).
+        assert deviation_norm(np.array([0.0, 2.0])) == pytest.approx(np.sqrt(2))
+
+    def test_deviation_norm_explicit_mean(self):
+        values = np.array([1.0, 1.0])
+        assert deviation_norm(values, mean=0.0) == pytest.approx(np.sqrt(2))
+
+    def test_normalized_error_starts_at_one(self):
+        x0 = np.array([4.0, -2.0, 1.0])
+        assert normalized_error(x0, x0) == pytest.approx(1.0)
+
+    def test_normalized_error_zero_at_consensus(self):
+        x0 = np.array([4.0, -2.0, 1.0])
+        consensus = np.full(3, x0.mean())
+        assert normalized_error(consensus, x0) == pytest.approx(0.0)
+
+    def test_normalized_error_degenerate_input(self):
+        x0 = np.full(4, 2.0)
+        assert normalized_error(x0, x0) == 0.0
+
+    def test_normalized_error_detects_mass_leak(self):
+        # A protocol that drifted the mean shows positive error forever.
+        x0 = np.array([0.0, 2.0])
+        leaked = np.array([5.0, 5.0])  # consensus, but on the wrong value
+        assert normalized_error(leaked, x0) > 1.0
+
+    def test_variance(self):
+        assert variance(np.array([0.0, 2.0])) == pytest.approx(1.0)
+
+    def test_max_deviation(self):
+        assert max_deviation(np.array([0.0, 1.0, 10.0])) == pytest.approx(
+            10.0 - 11.0 / 3.0
+        )
+
+
+class TestConvergenceTrace:
+    def test_records_first_point_always(self):
+        trace = ConvergenceTrace()
+        assert trace.record(0, 0, 1.0)
+        assert len(trace) == 1
+
+    def test_thinning_drops_close_points(self):
+        trace = ConvergenceTrace(thinning=0.5)
+        trace.record(100, 1, 0.9)
+        assert not trace.record(101, 2, 0.8)  # within 50% growth
+        assert trace.record(200, 3, 0.7)
+
+    def test_zero_thinning_keeps_everything(self):
+        trace = ConvergenceTrace(thinning=0.0)
+        for t in range(10):
+            assert trace.record(t, t, 1.0 / (t + 1))
+        assert len(trace) == 10
+
+    def test_force_record_bypasses_thinning(self):
+        trace = ConvergenceTrace(thinning=10.0)
+        trace.record(100, 1, 0.9)
+        trace.force_record(100, 2, 0.8)
+        assert len(trace) == 2
+
+    def test_final_properties(self):
+        trace = ConvergenceTrace()
+        trace.force_record(10, 1, 0.5)
+        trace.force_record(20, 2, 0.25)
+        assert trace.final_error == 0.25
+        assert trace.final_transmissions == 20
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            _ = ConvergenceTrace().final_error
+
+    def test_transmissions_to_reach(self):
+        trace = ConvergenceTrace()
+        trace.force_record(10, 1, 0.5)
+        trace.force_record(20, 2, 0.25)
+        trace.force_record(30, 3, 0.1)
+        assert trace.transmissions_to_reach(0.3) == 20
+        assert trace.transmissions_to_reach(0.01) is None
+
+    def test_as_arrays(self):
+        trace = ConvergenceTrace()
+        trace.force_record(1, 1, 0.5)
+        trace.force_record(2, 2, 0.4)
+        tx, err = trace.as_arrays()
+        np.testing.assert_array_equal(tx, [1, 2])
+        np.testing.assert_allclose(err, [0.5, 0.4])
+
+    def test_decay_rate_of_perfect_exponential(self):
+        trace = ConvergenceTrace(thinning=0.0)
+        rate = 0.01
+        for t in range(0, 500, 10):
+            trace.force_record(t, t, float(np.exp(-rate * t)))
+        assert trace.decay_rate_per_transmission() == pytest.approx(rate)
+
+    def test_decay_rate_needs_two_points(self):
+        trace = ConvergenceTrace()
+        trace.force_record(0, 0, 1.0)
+        with pytest.raises(ValueError):
+            trace.decay_rate_per_transmission()

@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+The invariants the paper's correctness rests on:
+
+* affine pairwise updates conserve the sum for *any* coefficients;
+* the Lemma 1 contraction holds for all α-vectors inside (1/3, 1/2);
+* grid partitions assign every point to exactly one cell;
+* the subdivision rule always emits squares of even numbers and always
+  terminates;
+* greedy routing makes strict progress (hence terminates) on any graph.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis import contraction_factor, paper_loose_bound
+from repro.geometry import GridPartition, Square, UNIT_SQUARE
+from repro.gossip import affine_pair_update
+from repro.hierarchy import nearest_even_square, subdivision_factors
+from repro.metrics import normalized_error
+from repro.routing import TransmissionCounter
+
+finite_values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestAffineInvariants:
+    @given(
+        values=arrays(np.float64, st.integers(2, 12), elements=finite_values),
+        alpha_i=st.floats(-2.0, 3.0, allow_nan=False),
+        alpha_j=st.floats(-2.0, 3.0, allow_nan=False),
+        data=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_sum_conserved_for_any_coefficients(
+        self, values, alpha_i, alpha_j, data
+    ):
+        n = len(values)
+        i = data.draw(st.integers(0, n - 1))
+        j = data.draw(st.integers(0, n - 1).filter(lambda x: x != i))
+        before = math.fsum(values.tolist())
+        affine_pair_update(values, i, j, alpha_i, alpha_j)
+        after = math.fsum(values.tolist())
+        scale = max(1.0, abs(before), float(np.abs(values).max()))
+        assert abs(after - before) <= 1e-8 * scale
+
+    @given(
+        n=st.integers(3, 24),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lemma1_contraction_for_all_valid_alphas(self, n, seed):
+        rng = np.random.default_rng(seed)
+        alphas = rng.uniform(1 / 3 + 1e-9, 1 / 2 - 1e-9, size=n)
+        assert contraction_factor(alphas) < paper_loose_bound(n)
+
+    @given(
+        values=arrays(np.float64, st.integers(2, 10), elements=finite_values),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_convex_half_never_expands(self, values):
+        # α = 1/2 is plain averaging; the deviation norm cannot grow.
+        work = values.copy()
+        before = normalized_error(work, values)
+        affine_pair_update(work, 0, len(work) - 1, 0.5, 0.5)
+        after = normalized_error(work, values)
+        assert after <= before + 1e-9
+
+
+class TestGeometryInvariants:
+    @given(
+        k=st.integers(1, 12),
+        x=st.floats(0.0, 1.0, allow_nan=False),
+        y=st.floats(0.0, 1.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_partition_assigns_each_point_once(self, k, x, y):
+        partition = GridPartition(UNIT_SQUARE, k)
+        point = np.array([x, y])
+        index = partition.cell_index(point)
+        assert 0 <= index < k * k
+        assert partition.cell(index).contains(point)
+
+    @given(
+        x0=st.floats(0.0, 0.8, allow_nan=False),
+        y0=st.floats(0.0, 0.8, allow_nan=False),
+        side=st.floats(0.05, 0.2, allow_nan=False),
+        k=st.integers(1, 6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_subdivide_tiles_area(self, x0, y0, side, k):
+        square = Square(x0, y0, side)
+        children = square.subdivide(k)
+        assert len(children) == k * k
+        total = sum(child.area for child in children)
+        assert total == pytest.approx(square.area, rel=1e-9)
+
+
+class TestSubdivisionInvariants:
+    @given(target=st.floats(0.1, 1e7, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_nearest_even_square_is_even_square(self, target):
+        value = nearest_even_square(target)
+        root = math.isqrt(value)
+        assert root * root == value
+        assert root % 2 == 0
+        # No better even square exists.
+        better = (root - 2) ** 2 if root > 2 else None
+        if better:
+            assert abs(value - target) <= abs(better - target)
+        assert abs(value - target) <= abs((root + 2) ** 2 - target)
+
+    @given(
+        n=st.integers(2, 10**7),
+        threshold=st.floats(1.0, 1e4, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_factors_terminate_and_respect_threshold(self, n, threshold):
+        factors = subdivision_factors(n, threshold)
+        assert len(factors) < 64  # terminates fast (ℓ ~ log log n)
+        expected = float(n)
+        for factor in factors:
+            assert expected > threshold
+            expected /= factor
+        assert expected <= threshold or expected < 1.0 or not factors or (
+            nearest_even_square(math.sqrt(expected)) >= expected
+        )
+
+
+class TestCounterInvariants:
+    @given(charges=st.lists(st.integers(0, 1000), max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_total_is_sum_of_categories(self, charges):
+        counter = TransmissionCounter()
+        for index, amount in enumerate(charges):
+            counter.charge(amount, f"cat{index % 3}")
+        assert counter.total == sum(charges)
+        assert sum(counter.by_category.values()) == counter.total
+
+
+import pytest  # noqa: E402  (used inside a hypothesis test body above)

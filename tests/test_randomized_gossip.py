@@ -1,0 +1,80 @@
+"""Unit tests for repro.gossip.randomized (Boyd et al. baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.gossip import RandomizedGossip
+from repro.graphs import (
+    RandomGeometricGraph,
+    complete_graph_adjacency,
+    ring_graph_adjacency,
+)
+
+
+@pytest.fixture(scope="module")
+def rgg():
+    rng = np.random.default_rng(107)
+    return RandomGeometricGraph.sample_connected(128, rng, radius_constant=2.5)
+
+
+class TestRandomizedGossip:
+    def test_converges_on_rgg(self, rgg):
+        algo = RandomizedGossip(rgg.neighbors)
+        rng = np.random.default_rng(109)
+        x0 = rng.normal(size=rgg.n)
+        result = algo.run(x0, epsilon=0.05, rng=rng)
+        assert result.converged
+        assert result.error <= 0.05
+
+    def test_sum_conserved_exactly(self, rgg):
+        algo = RandomizedGossip(rgg.neighbors)
+        rng = np.random.default_rng(113)
+        x0 = rng.normal(size=rgg.n)
+        result = algo.run(x0, epsilon=0.1, rng=rng)
+        assert result.values.sum() == pytest.approx(x0.sum(), rel=1e-9)
+
+    def test_two_transmissions_per_exchange(self, rgg):
+        algo = RandomizedGossip(rgg.neighbors)
+        rng = np.random.default_rng(127)
+        result = algo.run(rng.normal(size=rgg.n), epsilon=0.3, rng=rng)
+        assert result.transmissions["near"] == result.total_transmissions
+        assert result.total_transmissions == 2 * result.ticks
+
+    def test_converges_on_complete_graph(self):
+        algo = RandomizedGossip(complete_graph_adjacency(32))
+        rng = np.random.default_rng(131)
+        result = algo.run(rng.normal(size=32), epsilon=0.05, rng=rng)
+        assert result.converged
+
+    def test_slow_on_ring(self):
+        # The ring mixes in Θ(n²) — the run should need far more exchanges
+        # per node than the complete graph at equal n and ε.
+        n = 32
+        rng = np.random.default_rng(137)
+        x0 = rng.normal(size=n)
+        ring = RandomizedGossip(ring_graph_adjacency(n)).run(
+            x0, epsilon=0.1, rng=np.random.default_rng(1)
+        )
+        complete = RandomizedGossip(complete_graph_adjacency(n)).run(
+            x0, epsilon=0.1, rng=np.random.default_rng(1)
+        )
+        assert ring.total_transmissions > 2 * complete.total_transmissions
+
+    def test_isolated_node_tick_is_noop(self):
+        neighbors = [np.array([1]), np.array([0]), np.array([], dtype=np.int64)]
+        algo = RandomizedGossip(neighbors)
+        values = np.array([0.0, 1.0, 5.0])
+        from repro.routing import TransmissionCounter
+
+        counter = TransmissionCounter()
+        algo.tick(2, values, counter, np.random.default_rng(3))
+        assert values[2] == 5.0
+        assert counter.total == 0
+
+    def test_values_stay_in_convex_hull(self, rgg):
+        algo = RandomizedGossip(rgg.neighbors)
+        rng = np.random.default_rng(139)
+        x0 = rng.uniform(0.0, 10.0, size=rgg.n)
+        result = algo.run(x0, epsilon=0.05, rng=rng)
+        assert result.values.min() >= x0.min() - 1e-9
+        assert result.values.max() <= x0.max() + 1e-9

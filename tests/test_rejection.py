@@ -1,0 +1,90 @@
+"""Unit tests for repro.routing.rejection."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import random_points
+from repro.routing import RejectionSampler, voronoi_cell_areas
+
+
+@pytest.fixture(scope="module")
+def positions():
+    return random_points(150, np.random.default_rng(79))
+
+
+class TestVoronoiAreas:
+    def test_sums_to_one(self, positions):
+        areas = voronoi_cell_areas(positions, resolution=128)
+        assert areas.sum() == pytest.approx(1.0)
+
+    def test_single_node_owns_everything(self):
+        areas = voronoi_cell_areas(np.array([[0.3, 0.7]]), resolution=32)
+        assert areas[0] == pytest.approx(1.0)
+
+    def test_symmetric_pair_splits_evenly(self):
+        areas = voronoi_cell_areas(
+            np.array([[0.25, 0.5], [0.75, 0.5]]), resolution=64
+        )
+        np.testing.assert_allclose(areas, [0.5, 0.5], atol=0.02)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            voronoi_cell_areas(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            voronoi_cell_areas(np.zeros((3, 2)), resolution=0)
+
+
+class TestRejectionSampler:
+    def test_rejects_bad_quantile(self, positions):
+        with pytest.raises(ValueError):
+            RejectionSampler(positions, reference_quantile=0.0)
+
+    def test_target_distribution_sums_to_one(self, positions):
+        sampler = RejectionSampler(positions)
+        assert sampler.target_distribution().sum() == pytest.approx(1.0)
+
+    def test_rejection_improves_uniformity(self, positions):
+        sampler = RejectionSampler(positions, reference_quantile=0.25)
+        raw = sampler.areas
+        uniform = np.full(len(positions), 1.0 / len(positions))
+        tv_raw = 0.5 * np.abs(raw - uniform).sum()
+        assert sampler.total_variation_from_uniform() < tv_raw
+
+    def test_lower_quantile_more_uniform(self, positions):
+        loose = RejectionSampler(positions, reference_quantile=0.9)
+        tight = RejectionSampler(positions, reference_quantile=0.1)
+        assert (
+            tight.total_variation_from_uniform()
+            <= loose.total_variation_from_uniform()
+        )
+
+    def test_expected_proposals_at_least_one(self, positions):
+        sampler = RejectionSampler(positions)
+        assert sampler.expected_proposals() >= 1.0
+
+    def test_sample_returns_valid_node(self, positions):
+        sampler = RejectionSampler(positions)
+        rng = np.random.default_rng(83)
+        node, proposals = sampler.sample(rng)
+        assert 0 <= node < len(positions)
+        assert proposals >= 1
+
+    def test_empirical_distribution_close_to_target(self, positions):
+        sampler = RejectionSampler(positions, reference_quantile=0.25)
+        rng = np.random.default_rng(89)
+        draws = 6000
+        counts = np.zeros(len(positions))
+        for _ in range(draws):
+            node, _ = sampler.sample(rng)
+            counts[node] += 1
+        empirical = counts / draws
+        tv = 0.5 * np.abs(empirical - sampler.target_distribution()).sum()
+        # Sampling noise at this sample size; the point is rough agreement.
+        assert tv < 0.15
+
+    def test_mean_proposals_matches_expectation(self, positions):
+        sampler = RejectionSampler(positions, reference_quantile=0.25)
+        rng = np.random.default_rng(97)
+        draws = 2000
+        used = sum(sampler.sample(rng)[1] for _ in range(draws)) / draws
+        assert used == pytest.approx(sampler.expected_proposals(), rel=0.15)

@@ -1,0 +1,72 @@
+"""Unit tests for repro.experiments.report."""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.report import (
+    render_markdown,
+    save_json,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+from repro.experiments.runner import ScalingPoint
+
+
+@pytest.fixture
+def config():
+    return ExperimentConfig(
+        sizes=(64, 128), epsilon=0.3, trials=2, algorithms=("geographic",)
+    )
+
+
+@pytest.fixture
+def sweep():
+    return {
+        "geographic": [
+            ScalingPoint("geographic", 64, 1000.0, 50.0, 1.0, 2),
+            ScalingPoint("geographic", 128, 2800.0, 90.0, 1.0, 2),
+        ]
+    }
+
+
+class TestSerialization:
+    def test_round_trip(self, config, sweep):
+        payload = sweep_to_dict(config, sweep)
+        restored = sweep_from_dict(payload)
+        assert restored.keys() == sweep.keys()
+        for original, back in zip(sweep["geographic"], restored["geographic"]):
+            assert back.n == original.n
+            assert back.transmissions_mean == original.transmissions_mean
+            assert back.converged_fraction == original.converged_fraction
+
+    def test_dict_is_json_serialisable(self, config, sweep):
+        text = json.dumps(sweep_to_dict(config, sweep))
+        assert "geographic" in text
+
+    def test_config_recorded(self, config, sweep):
+        payload = sweep_to_dict(config, sweep)
+        assert payload["config"]["epsilon"] == 0.3
+        assert payload["config"]["sizes"] == [64, 128]
+
+    def test_save_json(self, config, sweep, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_json(str(path), config, sweep)
+        loaded = json.loads(path.read_text())
+        assert loaded["points"]["geographic"][0]["n"] == 64
+
+
+class TestMarkdown:
+    def test_contains_table_and_slope(self, config, sweep):
+        text = render_markdown(config, sweep)
+        assert "| n | geographic |" in text
+        assert "| 64 | 1,000 |" in text
+        # slope of 1000->2800 over 64->128 is log2(2.8) ≈ 1.485
+        assert "1.485" in text
+
+    def test_missing_points_render_dash(self, config):
+        sweep = {"geographic": [ScalingPoint("geographic", 64, 10.0, 0.0, 1.0, 1)]}
+        text = render_markdown(config, sweep)
+        assert "—" in text
+        assert "n/a" in text

@@ -1,0 +1,64 @@
+"""Unit tests for repro.routing.cost."""
+
+import pytest
+
+from repro.routing import TransmissionCounter
+
+
+class TestTransmissionCounter:
+    def test_starts_at_zero(self):
+        assert TransmissionCounter().total == 0
+
+    def test_charge_accumulates(self):
+        counter = TransmissionCounter()
+        counter.charge(3, "route")
+        counter.charge(2, "route")
+        counter.charge(1, "near")
+        assert counter.total == 6
+        assert counter.by_category["route"] == 5
+        assert counter.by_category["near"] == 1
+
+    def test_default_category(self):
+        counter = TransmissionCounter()
+        counter.charge()
+        assert counter.by_category["message"] == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TransmissionCounter().charge(-1)
+
+    def test_charge_zero_is_noop_total(self):
+        counter = TransmissionCounter()
+        counter.charge(0, "route")
+        assert counter.total == 0
+
+    def test_merge(self):
+        a = TransmissionCounter()
+        b = TransmissionCounter()
+        a.charge(2, "near")
+        b.charge(3, "near")
+        b.charge(1, "flood")
+        a.merge(b)
+        assert a.total == 6
+        assert a.by_category["near"] == 5
+        assert a.by_category["flood"] == 1
+
+    def test_snapshot_contains_total(self):
+        counter = TransmissionCounter()
+        counter.charge(4, "route")
+        snap = counter.snapshot()
+        assert snap == {"route": 4, "total": 4}
+
+    def test_snapshot_is_detached(self):
+        counter = TransmissionCounter()
+        counter.charge(1, "x")
+        snap = counter.snapshot()
+        counter.charge(1, "x")
+        assert snap["x"] == 1
+
+    def test_reset(self):
+        counter = TransmissionCounter()
+        counter.charge(5)
+        counter.reset()
+        assert counter.total == 0
+        assert not counter.by_category

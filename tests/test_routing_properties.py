@@ -1,0 +1,110 @@
+"""Property-based tests for routing invariants (hypothesis).
+
+Greedy forwarding's key structural guarantees hold on *any* geometric
+graph, not just w.h.p. instances:
+
+* strict progress — every hop strictly decreases distance to the target,
+  so a route can never visit a node twice and always terminates within
+  n − 1 hops;
+* delivery soundness — a route reported delivered ends at the target;
+* flooding — reaches exactly the member-reachable set, never leaves the
+  member set, and charges exactly one transmission per reached node.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import RandomGeometricGraph
+from repro.routing import GreedyRouter, TransmissionCounter, flood
+
+
+def graph_from_seed(seed: int, n: int, radius: float) -> RandomGeometricGraph:
+    rng = np.random.default_rng(seed)
+    return RandomGeometricGraph.build(rng.random((n, 2)), radius)
+
+
+class TestGreedyInvariants:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n=st.integers(5, 60),
+        radius=st.floats(0.05, 0.8),
+        data=st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_routes_terminate_without_revisits(self, seed, n, radius, data):
+        graph = graph_from_seed(seed, n, radius)
+        router = GreedyRouter(graph)
+        source = data.draw(st.integers(0, n - 1))
+        target = data.draw(st.integers(0, n - 1))
+        result = router.route_to_node(source, target)
+        assert len(result.path) == len(set(result.path))
+        assert result.hops <= n - 1
+        assert result.path[0] == source
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n=st.integers(5, 60),
+        radius=st.floats(0.05, 0.8),
+        data=st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_delivery_soundness(self, seed, n, radius, data):
+        graph = graph_from_seed(seed, n, radius)
+        router = GreedyRouter(graph)
+        source = data.draw(st.integers(0, n - 1))
+        target = data.draw(st.integers(0, n - 1))
+        result = router.route_to_node(source, target)
+        if result.delivered:
+            assert result.destination == target
+        else:
+            assert result.destination != target
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n=st.integers(5, 40),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_progress_strictly_monotone(self, seed, n, data):
+        graph = graph_from_seed(seed, n, 0.4)
+        router = GreedyRouter(graph)
+        source = data.draw(st.integers(0, n - 1))
+        x = data.draw(st.floats(0.0, 1.0))
+        y = data.draw(st.floats(0.0, 1.0))
+        target = np.array([x, y])
+        result = router.route_to_position(source, target)
+        distances = [
+            float(np.hypot(*(graph.positions[v] - target)))
+            for v in result.path
+        ]
+        assert all(b < a for a, b in zip(distances, distances[1:]))
+
+
+class TestFloodInvariants:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n=st.integers(4, 50),
+        radius=st.floats(0.1, 0.9),
+        member_fraction=st.floats(0.3, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_flood_stays_inside_members_and_charges_reached(
+        self, seed, n, radius, member_fraction
+    ):
+        graph = graph_from_seed(seed, n, radius)
+        member_count = max(1, int(member_fraction * n))
+        members = list(range(member_count))
+        counter = TransmissionCounter()
+        reached = flood(graph.neighbors, 0, members, counter)
+        assert set(reached) <= set(members)
+        assert reached[0] == 0
+        assert counter.total == len(reached)
+        assert len(reached) == len(set(reached))
+
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(4, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_flood_of_full_connected_graph_reaches_everyone(self, seed, n):
+        graph = graph_from_seed(seed, n, 1.5)  # radius > diameter: complete
+        reached = flood(graph.neighbors, 0, range(n))
+        assert sorted(reached) == list(range(n))

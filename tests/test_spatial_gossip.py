@@ -1,0 +1,93 @@
+"""Unit tests for repro.gossip.spatial (Kempe–Kleinberg baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.gossip import SpatialGossip
+from repro.graphs import RandomGeometricGraph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(283)
+    return RandomGeometricGraph.sample_connected(128, rng, radius_constant=2.5)
+
+
+class TestConstruction:
+    def test_rejects_negative_rho(self, graph):
+        with pytest.raises(ValueError):
+            SpatialGossip(graph, rho=-1.0)
+
+    def test_cdfs_are_distributions(self, graph):
+        algo = SpatialGossip(graph, rho=2.0)
+        for u in (0, 5, graph.n - 1):
+            cdf = algo._cumulative[u]
+            assert cdf[-1] == pytest.approx(1.0)
+            assert (np.diff(cdf) >= -1e-12).all()
+
+    def test_rho_zero_is_uniform(self, graph):
+        algo = SpatialGossip(graph, rho=0.0)
+        cdf = algo._cumulative[0]
+        pmf = np.diff(np.concatenate([[0.0], cdf]))
+        expected = np.full(graph.n, 1.0 / (graph.n - 1))
+        expected[0] = 0.0
+        np.testing.assert_allclose(pmf, expected, atol=1e-12)
+
+    def test_high_rho_prefers_near_targets(self, graph):
+        algo = SpatialGossip(graph, rho=4.0)
+        rng = np.random.default_rng(3)
+        node = 0
+        positions = graph.positions
+        draws = []
+        for _ in range(300):
+            target = int(np.searchsorted(algo._cumulative[node], rng.random()))
+            draws.append(
+                np.hypot(*(positions[min(target, graph.n - 1)] - positions[node]))
+            )
+        uniform_mean_distance = np.mean(
+            [np.hypot(*(p - positions[node])) for p in positions[1:]]
+        )
+        assert np.mean(draws) < 0.6 * uniform_mean_distance
+
+
+class TestExecution:
+    def test_converges(self, graph):
+        algo = SpatialGossip(graph, rho=2.0)
+        rng = np.random.default_rng(5)
+        x0 = rng.normal(size=graph.n)
+        result = algo.run(x0, epsilon=0.15, rng=rng)
+        assert result.converged
+        assert result.values.sum() == pytest.approx(x0.sum(), rel=1e-9)
+
+    def test_never_picks_self(self, graph):
+        algo = SpatialGossip(graph, rho=1.0)
+        rng = np.random.default_rng(7)
+        for node in (0, 64, 127):
+            for _ in range(200):
+                target = int(
+                    np.searchsorted(algo._cumulative[node], rng.random())
+                )
+                assert min(target, graph.n - 1) != node
+
+    def test_rho_interpolates_cost_per_exchange(self, graph):
+        # Larger rho = shorter routes = fewer transmissions per tick.
+        x0 = np.random.default_rng(11).normal(size=graph.n)
+        local = SpatialGossip(graph, rho=6.0).run(
+            x0, 0.3, np.random.default_rng(13)
+        )
+        uniform = SpatialGossip(graph, rho=0.0).run(
+            x0, 0.3, np.random.default_rng(13)
+        )
+        per_tick_local = local.total_transmissions / max(1, local.ticks)
+        per_tick_uniform = uniform.total_transmissions / max(1, uniform.ticks)
+        assert per_tick_local < per_tick_uniform
+
+    def test_duplicate_positions_handled(self):
+        positions = np.vstack(
+            [np.full((3, 2), 0.5), np.random.default_rng(17).random((20, 2))]
+        )
+        graph = RandomGeometricGraph.build(positions, radius=0.6)
+        algo = SpatialGossip(graph, rho=2.0)
+        x0 = np.random.default_rng(19).normal(size=23)
+        result = algo.run(x0, 0.3, np.random.default_rng(23))
+        assert result.converged

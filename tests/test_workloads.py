@@ -1,0 +1,115 @@
+"""Unit tests for repro.workloads.fields."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import random_points
+from repro.workloads import (
+    FIELD_GENERATORS,
+    checkerboard_field,
+    gaussian_plume_field,
+    linear_gradient_field,
+    random_field,
+    spike_field,
+)
+
+
+@pytest.fixture(scope="module")
+def positions():
+    return random_points(300, np.random.default_rng(73))
+
+
+class TestSpike:
+    def test_single_nonzero(self, positions):
+        values = spike_field(positions, np.random.default_rng(1))
+        assert np.count_nonzero(values) == 1
+        assert values.max() == 1.0
+
+    def test_magnitude(self, positions):
+        values = spike_field(positions, np.random.default_rng(2), magnitude=5.0)
+        assert values.sum() == 5.0
+
+
+class TestGradient:
+    def test_is_affine_in_position(self, positions):
+        values = linear_gradient_field(positions, np.random.default_rng(3))
+        # Fit a plane; residuals must vanish.
+        design = np.column_stack([positions, np.ones(len(positions))])
+        _, residuals, *_ = np.linalg.lstsq(design, values, rcond=None)
+        assert residuals.size == 0 or residuals[0] < 1e-18
+
+    def test_noise_breaks_plane(self, positions):
+        values = linear_gradient_field(
+            positions, np.random.default_rng(5), noise=0.5
+        )
+        design = np.column_stack([positions, np.ones(len(positions))])
+        _, residuals, *_ = np.linalg.lstsq(design, values, rcond=None)
+        assert residuals[0] > 1.0
+
+
+class TestPlume:
+    def test_peak_near_center(self, positions):
+        rng = np.random.default_rng(7)
+        values = gaussian_plume_field(positions, rng, width=0.2)
+        assert values.max() <= 1.0
+        assert values.min() >= 0.0
+
+    def test_narrow_plume_is_sparse(self, positions):
+        wide = gaussian_plume_field(
+            positions, np.random.default_rng(9), width=0.5
+        )
+        narrow = gaussian_plume_field(
+            positions, np.random.default_rng(9), width=0.02
+        )
+        assert (narrow > 0.1).sum() < (wide > 0.1).sum()
+
+    def test_validation(self, positions):
+        with pytest.raises(ValueError):
+            gaussian_plume_field(positions, np.random.default_rng(1), width=0.0)
+
+
+class TestCheckerboard:
+    def test_values_plus_minus_one(self, positions):
+        values = checkerboard_field(positions, np.random.default_rng(11))
+        assert set(np.unique(values)) <= {-1.0, 1.0}
+
+    def test_neighbouring_cells_alternate(self):
+        positions = np.array([[0.05, 0.05], [0.2, 0.05]])  # adjacent cells
+        values = checkerboard_field(
+            positions, np.random.default_rng(1), cells_per_axis=8
+        )
+        assert values[0] == -values[1]
+
+    def test_validation(self, positions):
+        with pytest.raises(ValueError):
+            checkerboard_field(positions, np.random.default_rng(1), cells_per_axis=0)
+
+
+class TestRandomField:
+    def test_statistics(self, positions):
+        values = random_field(positions, np.random.default_rng(13), scale=2.0)
+        assert abs(values.mean()) < 0.5
+        assert 1.3 < values.std() < 2.7
+
+    def test_validation(self, positions):
+        with pytest.raises(ValueError):
+            random_field(positions, np.random.default_rng(1), scale=0.0)
+
+
+class TestRegistry:
+    def test_contains_all_generators(self):
+        assert set(FIELD_GENERATORS) == {
+            "spike", "gradient", "plume", "checkerboard", "random",
+        }
+
+    def test_all_generators_produce_correct_shape(self, positions):
+        rng = np.random.default_rng(17)
+        for name, generator in FIELD_GENERATORS.items():
+            values = generator(positions, rng)
+            assert values.shape == (len(positions),), name
+
+    def test_all_reject_empty_positions(self):
+        rng = np.random.default_rng(19)
+        for generator in FIELD_GENERATORS.values():
+            with pytest.raises(ValueError):
+                generator(np.empty((0, 2)), rng)
