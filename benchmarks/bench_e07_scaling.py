@@ -26,10 +26,11 @@ constants that place the crossover far beyond simulable n.
 """
 
 import math
+import os
 
 import numpy as np
 
-from _common import emit
+from _common import emit, timed_pedantic
 from repro.analysis import (
     geographic_gossip_prediction,
     paper_headline_form,
@@ -50,6 +51,10 @@ from repro.hierarchy import practical_leaf_threshold, subdivision_factors
 SIZES = (128, 256, 512)
 EPSILON = 0.2
 
+# Grid cells fan across the engine's worker pool; per-cell seed spawning
+# makes the numbers identical at any worker count, so parallelism is free.
+WORKERS = max(1, min(4, os.cpu_count() or 1))
+
 
 def test_e07_scaling(benchmark):
     # A gradient field excites the slow eigenmode the worst-case bounds
@@ -58,8 +63,14 @@ def test_e07_scaling(benchmark):
         sizes=SIZES, epsilon=EPSILON, trials=2, field="gradient"
     )
 
-    sweep = benchmark.pedantic(
-        lambda: run_scaling_sweep(config), rounds=1, iterations=1
+    sweep = timed_pedantic(
+        benchmark,
+        "e07_scaling",
+        lambda: run_scaling_sweep(config, workers=WORKERS),
+        workers=WORKERS,
+        check_stride=1,
+        sizes=list(SIZES),
+        trials=config.trials,
     )
 
     rows = []

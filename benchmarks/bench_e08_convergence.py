@@ -11,7 +11,7 @@ budgets on one instance, i.e. vertical slices through the three curves.
 
 import numpy as np
 
-from _common import emit
+from _common import emit, timed_pedantic
 from repro.experiments import ExperimentConfig, format_table, run_convergence
 
 N = 512
@@ -23,10 +23,13 @@ def test_e08_convergence_traces(benchmark):
         sizes=(N,), epsilon=EPSILON, trials=1, field="gradient"
     )
 
-    runs = benchmark.pedantic(
+    runs = timed_pedantic(
+        benchmark,
+        "e08_convergence",
         lambda: run_convergence(config, N, trace_thinning=0.01),
-        rounds=1,
-        iterations=1,
+        n=N,
+        epsilon=EPSILON,
+        check_stride=1,
     )
 
     traces = {run.algorithm: run.result.trace for run in runs}

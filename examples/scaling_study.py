@@ -9,10 +9,15 @@ the paper's asymptotic table:
     geographic     Õ(n^1.5)     (slope → ≈ 1.5)
     hierarchical   n^(1+o(1))   (slope → ≈ 1)
 
+The sweep's (algorithm, n, trial) grid cells fan across the simulation
+engine's worker pool; per-cell seed spawning makes the numbers identical
+at any worker count, so parallelism is free accuracy-wise.
+
 Run:  python examples/scaling_study.py            (quick: up to n=512)
       python examples/scaling_study.py --full     (up to n=1024)
 """
 
+import os
 import sys
 
 import numpy as np
@@ -34,11 +39,12 @@ def main() -> None:
             "hierarchical runs there take minutes (see DESIGN.md, D9)\n"
         )
     config = ExperimentConfig(sizes=sizes, epsilon=0.2, trials=2)
+    workers = max(1, min(4, os.cpu_count() or 1))
     print(
         f"Sweeping n ∈ {sizes}, ε = {config.epsilon}, "
-        f"{config.trials} trials per point ...\n"
+        f"{config.trials} trials per point, {workers} workers ...\n"
     )
-    sweep = run_scaling_sweep(config)
+    sweep = run_scaling_sweep(config, workers=workers)
 
     rows = []
     for n in sizes:

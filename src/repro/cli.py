@@ -7,10 +7,18 @@ Three commands cover the common workflows without writing any code:
 * ``sweep``    — the scaling sweep (experiment E7) at chosen sizes.
 * ``inspect``  — build and display the hierarchy for a placement.
 
+``run`` and ``sweep`` execute through :mod:`repro.engine`: ``--check-stride``
+selects the batched tick path (``1`` = the bit-identical legacy loop),
+``--workers`` fans sweep grid cells across processes (identical results at
+any worker count), and ``--store-dir``/``--resume`` persist finished cells
+so an interrupted sweep continues instead of restarting.
+
 Examples::
 
     python -m repro run --algorithm hierarchical --n 512 --epsilon 0.15
     python -m repro sweep --sizes 128,256,512 --epsilon 0.2 --trials 2
+    python -m repro sweep --sizes 256,512,1024 --workers 4 --check-stride 8 \
+        --store-dir results --resume
     python -m repro inspect --n 1024 --leaf-threshold 24
 """
 
@@ -21,6 +29,7 @@ import sys
 
 import numpy as np
 
+from repro.engine import ResultStore, run_batched
 from repro.experiments import (
     ALGORITHMS,
     ExperimentConfig,
@@ -36,6 +45,17 @@ from repro.viz import render_field, render_hierarchy
 from repro.workloads.fields import FIELD_GENERATORS
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be >= 1 (clean usage errors)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,6 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--show-field", action="store_true", help="ASCII field before/after"
     )
+    run.add_argument(
+        "--check-stride",
+        type=_positive_int,
+        default=1,
+        help="engine error-check stride (1 = legacy bit-identical loop)",
+    )
 
     sweep = sub.add_parser("sweep", help="scaling sweep (experiment E7)")
     sweep.add_argument("--sizes", default="128,256,512")
@@ -73,6 +99,29 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=20070801)
     sweep.add_argument(
         "--algorithms", default="randomized,geographic,hierarchical"
+    )
+    sweep.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="parallel grid-cell workers (results identical at any count)",
+    )
+    sweep.add_argument(
+        "--check-stride",
+        type=_positive_int,
+        default=1,
+        help="engine error-check stride (1 = legacy bit-identical loop)",
+    )
+    sweep.add_argument(
+        "--store-dir",
+        default=None,
+        help="persist finished cells under this directory (JSON lines)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --store-dir: reuse already-finished cells instead of "
+        "starting fresh",
     )
 
     inspect = sub.add_parser("inspect", help="build and display a hierarchy")
@@ -91,8 +140,12 @@ def _command_run(args: argparse.Namespace) -> int:
         print("initial field:")
         print(render_field(graph.positions, values))
     algorithm = make_algorithm(args.algorithm, graph)
-    result = algorithm.run(
-        values, args.epsilon, spawn_rng(args.seed, "cli-run", args.algorithm)
+    result = run_batched(
+        algorithm,
+        values,
+        args.epsilon,
+        spawn_rng(args.seed, "cli-run", args.algorithm),
+        check_stride=args.check_stride,
     )
     print(
         format_table(
@@ -129,7 +182,25 @@ def _command_sweep(args: argparse.Namespace) -> int:
         root_seed=args.seed,
         algorithms=algorithms,
     )
-    sweep = run_scaling_sweep(config)
+    store = None
+    if args.store_dir is not None:
+        store = ResultStore(args.store_dir, config, args.check_stride)
+        already = len(store.load_records()) if args.resume else 0
+        if not args.resume:
+            store.reset()
+        print(
+            f"store: {store.directory}"
+            + (f" (resuming past {already} finished cells)" if already else "")
+        )
+    elif args.resume:
+        print("--resume requires --store-dir", file=sys.stderr)
+        return 2
+    sweep = run_scaling_sweep(
+        config,
+        workers=args.workers,
+        check_stride=args.check_stride,
+        store=store,
+    )
     rows = []
     for n in sizes:
         row = [n]

@@ -1,0 +1,50 @@
+"""High-throughput simulation engine.
+
+The rest of the library describes *what* a gossip protocol does per clock
+tick; this package decides *how fast* the ticks get executed.  Three layers
+stack to turn the paper's per-tick Python loop into something that can run
+large scaling sweeps:
+
+* :mod:`repro.engine.batching` — batched tick execution.  Poisson tick
+  owners are pre-sampled in vectorized NumPy blocks and the oracular
+  error check runs on a configurable stride, amortizing RNG and
+  error-check overhead across thousands of ticks.  ``check_stride=1`` is
+  the degenerate case and reproduces the legacy
+  :meth:`~repro.gossip.base.AsynchronousGossip.run` loop bit for bit.
+* :mod:`repro.engine.executor` — a parallel sweep executor.  A sweep is
+  expanded into independent ``(algorithm, n, trial)`` grid cells whose RNG
+  streams are spawned deterministically from the experiment's root seed,
+  so fanning cells across ``concurrent.futures`` workers yields results
+  identical to a serial run.
+* :mod:`repro.engine.store` — a persistent result store.  Completed cells
+  append to a JSON-lines file under a content-keyed directory; re-running
+  an interrupted sweep skips every finished cell instead of restarting.
+
+``repro.experiments.runner`` and the CLI sit on top of this package; the
+benchmarks route through them, so every experiment inherits the engine.
+"""
+
+from repro.engine.batching import DEFAULT_BLOCK_SIZE, run_batched, split_streams
+from repro.engine.executor import (
+    CellRecord,
+    SweepCell,
+    build_instance,
+    execute_cell,
+    expand_grid,
+    run_sweep_records,
+)
+from repro.engine.store import ResultStore, content_key
+
+__all__ = [
+    "CellRecord",
+    "DEFAULT_BLOCK_SIZE",
+    "ResultStore",
+    "SweepCell",
+    "build_instance",
+    "content_key",
+    "execute_cell",
+    "expand_grid",
+    "run_batched",
+    "run_sweep_records",
+    "split_streams",
+]

@@ -1,0 +1,230 @@
+"""Parallel sweep executor: deterministic grid cells over worker pools.
+
+A scaling sweep is a grid of independent cells, one per
+``(algorithm, n, trial)``.  Each cell derives every RNG stream it needs —
+placement, field, run — from the experiment's root seed via the same
+:func:`repro.experiments.seeds.spawn_rng` tag paths the serial runner has
+always used.  Cells therefore share *nothing at run time*, which makes the
+parallel schedule irrelevant to the numbers: a sweep fanned across
+``concurrent.futures.ProcessPoolExecutor`` workers produces records
+identical to a serial sweep on the same seeds (tested).
+
+:func:`run_sweep_records` is the engine entry point.  It optionally pairs
+with a :class:`repro.engine.store.ResultStore`: finished cells are
+appended as they complete, and cells already present in the store are
+skipped, so an interrupted sweep resumes instead of restarting.
+Aggregation into :class:`~repro.experiments.runner.ScalingPoint` rows
+stays in :mod:`repro.experiments.runner`, which sits above this module.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.engine.batching import run_batched
+from repro.graphs.rgg import RandomGeometricGraph
+from repro.workloads.fields import FIELD_GENERATORS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a layer cycle
+    from repro.engine.store import ResultStore
+    from repro.experiments.config import ExperimentConfig
+
+__all__ = [
+    "CellKey",
+    "CellRecord",
+    "SweepCell",
+    "build_instance",
+    "execute_cell",
+    "expand_grid",
+    "run_sweep_records",
+]
+
+#: How a cell is identified everywhere: (algorithm, n, trial).
+CellKey = tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of sweep work: run ``algorithm`` at size ``n``, trial ``trial``."""
+
+    algorithm: str
+    n: int
+    trial: int
+
+    @property
+    def key(self) -> CellKey:
+        return (self.algorithm, self.n, self.trial)
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """The JSON-serialisable outcome of one executed cell.
+
+    Carries everything aggregation and reporting need (transmission
+    counts, convergence) without the arrays and traces of a full
+    :class:`~repro.gossip.base.GossipRunResult`, so records are cheap to
+    ship between worker processes and to persist.
+    """
+
+    algorithm: str
+    n: int
+    trial: int
+    epsilon: float
+    transmissions: Mapping[str, int]
+    ticks: int
+    converged: bool
+    error: float
+
+    @property
+    def key(self) -> CellKey:
+        return (self.algorithm, self.n, self.trial)
+
+    @property
+    def total_transmissions(self) -> int:
+        return self.transmissions["total"]
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["transmissions"] = dict(self.transmissions)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CellRecord":
+        return cls(
+            algorithm=str(payload["algorithm"]),
+            n=int(payload["n"]),
+            trial=int(payload["trial"]),
+            epsilon=float(payload["epsilon"]),
+            transmissions={
+                str(k): int(v) for k, v in payload["transmissions"].items()
+            },
+            ticks=int(payload["ticks"]),
+            converged=bool(payload["converged"]),
+            error=float(payload["error"]),
+        )
+
+
+def build_instance(config: ExperimentConfig, n: int, trial: int):
+    """Placement, graph and field shared by all algorithms of one trial.
+
+    Seed tags match the historical serial runner exactly, so instances are
+    stable across engine versions and identical for every algorithm cell
+    of the same ``(n, trial)``.
+    """
+    # Imported here, not at module top: repro.experiments sits above the
+    # engine (its runner imports this package), so the engine only reaches
+    # up at call time.
+    from repro.experiments.seeds import spawn_rng
+
+    graph_rng = spawn_rng(config.root_seed, "graph", n, trial)
+    graph = RandomGeometricGraph.sample_connected(
+        n, graph_rng, radius_constant=config.radius_constant
+    )
+    field_rng = spawn_rng(config.root_seed, "field", config.field, n, trial)
+    values = FIELD_GENERATORS[config.field](graph.positions, field_rng)
+    return graph, values
+
+
+def expand_grid(config: ExperimentConfig) -> list[SweepCell]:
+    """All cells of a sweep, in the serial runner's historical order."""
+    return [
+        SweepCell(algorithm=name, n=n, trial=trial)
+        for n in config.sizes
+        for trial in range(config.trials)
+        for name in config.algorithms
+    ]
+
+
+def execute_cell(
+    config: ExperimentConfig, cell: SweepCell, check_stride: int = 1
+) -> CellRecord:
+    """Run one grid cell to ε and summarise it as a :class:`CellRecord`."""
+    from repro.experiments.config import make_algorithm
+    from repro.experiments.seeds import spawn_rng
+
+    graph, values = build_instance(config, cell.n, cell.trial)
+    algorithm = make_algorithm(cell.algorithm, graph)
+    run_rng = spawn_rng(config.root_seed, "run", cell.algorithm, cell.n, cell.trial)
+    result = run_batched(
+        algorithm, values, config.epsilon, run_rng, check_stride=check_stride
+    )
+    return CellRecord(
+        algorithm=cell.algorithm,
+        n=cell.n,
+        trial=cell.trial,
+        epsilon=config.epsilon,
+        transmissions=dict(result.transmissions),
+        ticks=result.ticks,
+        converged=result.converged,
+        error=result.error,
+    )
+
+
+def run_sweep_records(
+    config: ExperimentConfig,
+    *,
+    workers: int = 1,
+    check_stride: int = 1,
+    store: "ResultStore | None" = None,
+    on_record: Callable[[CellRecord, bool], None] | None = None,
+) -> dict[CellKey, CellRecord]:
+    """Execute (or resume) a sweep grid; returns records keyed by cell.
+
+    Parameters
+    ----------
+    config:
+        The sweep definition; its root seed fixes every cell's randomness.
+    workers:
+        ``1`` runs cells inline in grid order; ``> 1`` fans pending cells
+        across a process pool.  The records are identical either way.
+    check_stride:
+        Error-check stride forwarded to :func:`run_batched` (``1`` = the
+        bit-identical legacy path).
+    store:
+        Optional :class:`ResultStore`.  Cells it already holds are *not*
+        recomputed; newly finished cells are appended as they complete.
+    on_record:
+        Optional callback ``(record, fresh)`` invoked once per grid cell —
+        ``fresh`` is False for cells reused from the store.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if store is not None and store.check_stride != check_stride:
+        raise ValueError(
+            f"store was keyed for check_stride={store.check_stride} but the "
+            f"sweep is running with check_stride={check_stride}; mixing "
+            "strides in one store would blend non-identical numbers"
+        )
+    grid = expand_grid(config)
+    grid_keys = {cell.key for cell in grid}
+    records: dict[CellKey, CellRecord] = {}
+    if store is not None:
+        store.open()
+        for key, record in store.load_records().items():
+            if key in grid_keys:
+                records[key] = record
+                if on_record is not None:
+                    on_record(record, False)
+    pending = [cell for cell in grid if cell.key not in records]
+
+    def _finish(record: CellRecord) -> None:
+        records[record.key] = record
+        if store is not None:
+            store.append(record)
+        if on_record is not None:
+            on_record(record, True)
+
+    if workers == 1 or len(pending) <= 1:
+        for cell in pending:
+            _finish(execute_cell(config, cell, check_stride))
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(execute_cell, config, cell, check_stride)
+                for cell in pending
+            ]
+            for future in as_completed(futures):
+                _finish(future.result())
+    return records

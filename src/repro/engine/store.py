@@ -1,0 +1,140 @@
+"""Persistent result store: JSON-lines cells under a content-keyed directory.
+
+Layout::
+
+    <root>/
+      <content-key>/            # 16 hex chars of sha256(canonical config)
+        config.json             # the sweep definition, human-readable
+        cells.jsonl             # one CellRecord per line, append-only
+
+The content key hashes every knob that changes the *numbers* — the full
+:class:`~repro.experiments.config.ExperimentConfig` plus the engine's
+``check_stride`` — so results from different sweep definitions can never
+collide in one directory.  ``workers`` is deliberately excluded: the
+executor guarantees worker-count invariance, so a sweep may be resumed
+with a different degree of parallelism.
+
+Appends are line-atomic in practice (single short ``write`` + flush); a
+run killed mid-write leaves at most one truncated trailing line, which
+:meth:`ResultStore.load_records` tolerates by skipping lines that fail to
+parse.  A skipped line simply means that cell gets recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.engine.executor import CellKey, CellRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a layer cycle
+    from repro.experiments.config import ExperimentConfig
+
+__all__ = ["ResultStore", "content_key"]
+
+#: Bump when the record schema changes; part of the content key so old
+#: stores are never misread as new ones.
+STORE_FORMAT = 1
+
+
+def _config_payload(config: ExperimentConfig, check_stride: int) -> dict:
+    return {
+        "format": STORE_FORMAT,
+        "sizes": list(config.sizes),
+        "epsilon": config.epsilon,
+        "trials": config.trials,
+        "radius_constant": config.radius_constant,
+        "field": config.field,
+        "root_seed": config.root_seed,
+        "algorithms": list(config.algorithms),
+        "check_stride": check_stride,
+    }
+
+
+def content_key(config: ExperimentConfig, check_stride: int = 1) -> str:
+    """A short stable key for everything that determines a sweep's numbers."""
+    if check_stride < 1:
+        raise ValueError(f"check_stride must be >= 1, got {check_stride}")
+    canonical = json.dumps(
+        _config_payload(config, check_stride), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+class ResultStore:
+    """Append-only persistence for one sweep definition.
+
+    Parameters
+    ----------
+    root:
+        Directory that holds one subdirectory per sweep definition.
+    config:
+        The sweep the store belongs to.
+    check_stride:
+        The engine stride the records were produced with (part of the key).
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        config: ExperimentConfig,
+        check_stride: int = 1,
+    ):
+        self.root = Path(root)
+        self.config = config
+        self.check_stride = check_stride
+        self.key = content_key(config, check_stride)
+        self.directory = self.root / self.key
+        self.records_path = self.directory / "cells.jsonl"
+        self.config_path = self.directory / "config.json"
+
+    def open(self) -> "ResultStore":
+        """Create the directory and config descriptor if absent."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if not self.config_path.exists():
+            self.config_path.write_text(
+                json.dumps(
+                    _config_payload(self.config, self.check_stride),
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n",
+                encoding="utf-8",
+            )
+        return self
+
+    def reset(self) -> "ResultStore":
+        """Drop any persisted cells (a fresh, non-resuming run)."""
+        self.open()
+        if self.records_path.exists():
+            self.records_path.unlink()
+        return self
+
+    def append(self, record: CellRecord) -> None:
+        """Persist one finished cell (one JSON line, flushed immediately)."""
+        self.open()
+        with open(self.records_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+            handle.flush()
+
+    def load_records(self) -> dict[CellKey, CellRecord]:
+        """All parseable cells; later duplicates win, corrupt lines skipped."""
+        records: dict[CellKey, CellRecord] = {}
+        if not self.records_path.exists():
+            return records
+        for line in self.records_path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = CellRecord.from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                continue  # truncated tail of an interrupted run
+            records[record.key] = record
+        return records
+
+    def __len__(self) -> int:
+        return len(self.load_records())

@@ -10,6 +10,10 @@ that experiments are reproducible from library code alone:
 * :mod:`repro.experiments.tables` — fixed-width table rendering for
   paper-vs-measured rows.
 * :mod:`repro.experiments.seeds` — deterministic seed derivation.
+
+Execution itself is delegated to :mod:`repro.engine` (batched ticks,
+parallel sweep workers, resumable result stores); the runners here are
+the experiment-facing API over that engine.
 """
 
 from repro.experiments.config import (
@@ -20,6 +24,7 @@ from repro.experiments.config import (
 from repro.experiments.runner import (
     ConvergenceRun,
     ScalingPoint,
+    aggregate_records,
     aggregate_trials,
     fit_loglog_slope,
     run_convergence,
@@ -33,6 +38,7 @@ __all__ = [
     "ConvergenceRun",
     "ExperimentConfig",
     "ScalingPoint",
+    "aggregate_records",
     "aggregate_trials",
     "derive_seed",
     "fit_loglog_slope",

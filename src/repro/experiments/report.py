@@ -3,7 +3,10 @@
 The benchmark harness prints ASCII tables; downstream tooling (CI trend
 tracking, notebooks) wants structured output.  This module converts
 sweep results to plain dictionaries, renders a Markdown summary, and
-round-trips through JSON.
+round-trips through JSON.  Sweeps executed through the engine can also
+be reported straight from their persistent
+:class:`~repro.engine.store.ResultStore` — including partially completed
+ones — via :func:`sweep_from_store`.
 """
 
 from __future__ import annotations
@@ -13,18 +16,37 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.engine.store import ResultStore
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ScalingPoint, fit_loglog_slope
+from repro.experiments.runner import (
+    ScalingPoint,
+    aggregate_records,
+    fit_loglog_slope,
+)
 
-__all__ = ["sweep_to_dict", "sweep_from_dict", "render_markdown", "save_json"]
+__all__ = [
+    "sweep_to_dict",
+    "sweep_from_dict",
+    "sweep_from_store",
+    "render_markdown",
+    "save_json",
+]
 
 
 def sweep_to_dict(
     config: ExperimentConfig,
     sweep: Mapping[str, Sequence[ScalingPoint]],
+    engine: Mapping[str, object] | None = None,
 ) -> dict:
-    """A JSON-serialisable record of a scaling sweep."""
-    return {
+    """A JSON-serialisable record of a scaling sweep.
+
+    ``engine`` optionally records how the sweep was executed (for example
+    ``{"workers": 4, "check_stride": 8}``); execution parameters never
+    change the numbers — only ``check_stride`` does, and that is part of
+    the store's content key — but they are useful provenance for perf
+    trend tracking.
+    """
+    payload = {
         "config": {
             "sizes": list(config.sizes),
             "epsilon": config.epsilon,
@@ -48,6 +70,14 @@ def sweep_to_dict(
             for name, points in sweep.items()
         },
     }
+    if engine is not None:
+        payload["engine"] = dict(engine)
+    return payload
+
+
+def sweep_from_store(store: ResultStore) -> dict[str, list[ScalingPoint]]:
+    """Aggregate whatever cells a store holds (possibly a partial sweep)."""
+    return aggregate_records(store.config, store.load_records())
 
 
 def sweep_from_dict(payload: Mapping) -> dict[str, list[ScalingPoint]]:

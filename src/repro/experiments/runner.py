@@ -4,19 +4,33 @@ The scaling sweep is the headline (experiment E7): for each ``n`` and each
 algorithm, run to the target ε on the same placement and field, record
 transmissions, and fit per-algorithm log-log slopes — the paper's claimed
 exponents are ≈2 (randomized), ≈1.5 (geographic), ≈1+o(1) (hierarchical).
+
+Execution goes through :mod:`repro.engine`: the sweep grid is expanded
+into independent ``(algorithm, n, trial)`` cells with deterministically
+spawned seeds, optionally fanned across worker processes and persisted to
+a resumable :class:`~repro.engine.store.ResultStore`.  The defaults
+(``workers=1, check_stride=1``) reproduce the historical serial runner
+bit for bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
+from repro.engine.batching import run_batched
+from repro.engine.executor import (
+    CellKey,
+    CellRecord,
+    build_instance,
+    run_sweep_records,
+)
+from repro.engine.store import ResultStore
 from repro.experiments.config import ExperimentConfig, make_algorithm
 from repro.experiments.seeds import spawn_rng
 from repro.gossip.base import GossipRunResult
-from repro.graphs.rgg import RandomGeometricGraph
-from repro.workloads.fields import FIELD_GENERATORS
 
 __all__ = [
     "ConvergenceRun",
@@ -24,6 +38,7 @@ __all__ = [
     "run_convergence",
     "run_scaling_sweep",
     "aggregate_trials",
+    "aggregate_records",
     "fit_loglog_slope",
 ]
 
@@ -58,51 +73,72 @@ class ScalingPoint:
     trials: int
 
 
-def _build_instance(config: ExperimentConfig, n: int, trial: int):
-    """Placement, graph and field shared by all algorithms of one trial."""
-    graph_rng = spawn_rng(config.root_seed, "graph", n, trial)
-    graph = RandomGeometricGraph.sample_connected(
-        n, graph_rng, radius_constant=config.radius_constant
-    )
-    field_rng = spawn_rng(config.root_seed, "field", config.field, n, trial)
-    values = FIELD_GENERATORS[config.field](graph.positions, field_rng)
-    return graph, values
-
-
 def run_convergence(
     config: ExperimentConfig,
     n: int,
     trial: int = 0,
     trace_thinning: float = 0.02,
+    check_stride: int = 1,
 ) -> list[ConvergenceRun]:
     """Run every configured algorithm on one shared placement and field."""
-    graph, values = _build_instance(config, n, trial)
+    graph, values = build_instance(config, n, trial)
     runs = []
     for name in config.algorithms:
         algorithm = make_algorithm(name, graph)
         run_rng = spawn_rng(config.root_seed, "run", name, n, trial)
-        result = algorithm.run(
-            values, config.epsilon, run_rng, trace_thinning=trace_thinning
+        result = run_batched(
+            algorithm,
+            values,
+            config.epsilon,
+            run_rng,
+            check_stride=check_stride,
+            trace_thinning=trace_thinning,
         )
         runs.append(ConvergenceRun(algorithm=name, n=n, trial=trial, result=result))
     return runs
 
 
-def run_scaling_sweep(config: ExperimentConfig) -> dict[str, list[ScalingPoint]]:
-    """The E7 sweep: transmissions-to-ε for every algorithm and size."""
-    by_algorithm: dict[str, list[ScalingPoint]] = {
-        name: [] for name in config.algorithms
-    }
-    for n in config.sizes:
-        trials: dict[str, list[GossipRunResult]] = {
-            name: [] for name in config.algorithms
-        }
-        for trial in range(config.trials):
-            for run in run_convergence(config, n, trial):
-                trials[run.algorithm].append(run.result)
-        for name, results in trials.items():
-            by_algorithm[name].append(aggregate_trials(name, n, results))
-    return by_algorithm
+def run_scaling_sweep(
+    config: ExperimentConfig,
+    *,
+    workers: int = 1,
+    check_stride: int = 1,
+    store: ResultStore | None = None,
+) -> dict[str, list[ScalingPoint]]:
+    """The E7 sweep: transmissions-to-ε for every algorithm and size.
+
+    Parameters
+    ----------
+    config:
+        Sweep definition; the root seed fixes every cell's randomness.
+    workers:
+        Grid cells run inline when ``1``, across a process pool otherwise;
+        results are identical either way (per-cell seed spawning).
+    check_stride:
+        Engine error-check stride; ``1`` is the bit-identical legacy path.
+    store:
+        Optional result store — finished cells are persisted as they
+        complete and already-stored cells are skipped (resume semantics).
+    """
+    records = run_sweep_records(
+        config, workers=workers, check_stride=check_stride, store=store
+    )
+    return aggregate_records(config, records)
+
+
+def _aggregate_point(
+    algorithm: str, n: int, totals: list[int], converged: list[bool]
+) -> ScalingPoint:
+    """The one aggregation formula both result paths share."""
+    counts = np.array(totals, dtype=np.float64)
+    return ScalingPoint(
+        algorithm=algorithm,
+        n=n,
+        transmissions_mean=float(counts.mean()),
+        transmissions_std=float(counts.std()),
+        converged_fraction=float(np.mean(converged)),
+        trials=len(totals),
+    )
 
 
 def aggregate_trials(
@@ -111,15 +147,43 @@ def aggregate_trials(
     """Mean/std of transmissions over a point's trials."""
     if not results:
         raise ValueError("need at least one result to aggregate")
-    counts = np.array([r.total_transmissions for r in results], dtype=np.float64)
-    return ScalingPoint(
-        algorithm=algorithm,
-        n=n,
-        transmissions_mean=float(counts.mean()),
-        transmissions_std=float(counts.std()),
-        converged_fraction=float(np.mean([r.converged for r in results])),
-        trials=len(results),
+    return _aggregate_point(
+        algorithm,
+        n,
+        [r.total_transmissions for r in results],
+        [r.converged for r in results],
     )
+
+
+def aggregate_records(
+    config: ExperimentConfig, records: Mapping[CellKey, CellRecord]
+) -> dict[str, list[ScalingPoint]]:
+    """Fold engine cell records into per-algorithm scaling points.
+
+    Trials are aggregated in trial order so the floating-point results
+    match the historical serial runner exactly.  Cells missing from
+    ``records`` (a partially completed store) are simply left out, and an
+    ``(algorithm, n)`` point with no finished trials is omitted.
+    """
+    sweep: dict[str, list[ScalingPoint]] = {name: [] for name in config.algorithms}
+    for name in config.algorithms:
+        for n in config.sizes:
+            cells = [
+                records[(name, n, trial)]
+                for trial in range(config.trials)
+                if (name, n, trial) in records
+            ]
+            if not cells:
+                continue
+            sweep[name].append(
+                _aggregate_point(
+                    name,
+                    n,
+                    [c.total_transmissions for c in cells],
+                    [c.converged for c in cells],
+                )
+            )
+    return sweep
 
 
 def fit_loglog_slope(sizes: np.ndarray, costs: np.ndarray) -> float:

@@ -93,6 +93,27 @@ class AsynchronousGossip(ABC):
     ) -> None:
         """Execute ``node``'s action for one clock tick, in place."""
 
+    def tick_block(
+        self,
+        owners: np.ndarray,
+        values: np.ndarray,
+        counter: TransmissionCounter,
+        rng: np.random.Generator,
+    ) -> None:
+        """Execute a pre-sampled block of tick owners, in order, in place.
+
+        The batched engine driver (:func:`repro.engine.batching.run_batched`)
+        pre-samples owners in vectorized blocks and calls this hook instead
+        of :meth:`tick`.  Subclasses may override it to amortize per-tick
+        protocol randomness across the block; an override must stay
+        sequentially equivalent to ticking each owner in order and must
+        draw its randomness from ``rng`` with a fixed number of draws per
+        tick, so that results never depend on how a run was chunked into
+        blocks.
+        """
+        for node in owners:
+            self.tick(int(node), values, counter, rng)
+
     def tick_budget(self, epsilon: float) -> int:
         """Default safety budget of clock ticks for :meth:`run`.
 

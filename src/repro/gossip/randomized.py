@@ -53,6 +53,36 @@ class RandomizedGossip(AsynchronousGossip):
         values[partner] = average
         counter.charge(2, "near")
 
+    def tick_block(
+        self,
+        owners: np.ndarray,
+        values: np.ndarray,
+        counter: TransmissionCounter,
+        rng: np.random.Generator,
+    ) -> None:
+        """Batched ticks: one vectorized uniform draw covers the whole block.
+
+        Partner selection maps one double per tick onto the owner's
+        adjacency list (``⌊u · degree⌋``), so the block consumes exactly
+        ``len(owners)`` draws regardless of chunking — the block-invariance
+        contract of :meth:`AsynchronousGossip.tick_block`.  The averaging
+        itself must stay sequential: successive exchanges read the values
+        earlier exchanges wrote.
+        """
+        picks = rng.random(len(owners))
+        exchanges = 0
+        for node, pick in zip(owners.tolist(), picks.tolist()):
+            adjacency = self.neighbors[node]
+            if adjacency.size == 0:
+                continue  # isolated node: its tick is wasted
+            partner = int(adjacency[int(pick * adjacency.size)])
+            average = 0.5 * (values[node] + values[partner])
+            values[node] = average
+            values[partner] = average
+            exchanges += 1
+        if exchanges:
+            counter.charge(2 * exchanges, "near")
+
     def tick_budget(self, epsilon: float) -> int:
         # T_ave = Θ(n²/log n · log(1/ε)) ticks on an RGG; allow 20x headroom.
         n = self.n

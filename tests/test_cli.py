@@ -24,9 +24,44 @@ class TestParser:
         assert args.sizes == "64,128"
         assert args.trials == 1
 
+    def test_engine_flag_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workers == 1
+        assert args.check_stride == 1
+        assert args.store_dir is None
+        assert args.resume is False
+        run_args = build_parser().parse_args(["run"])
+        assert run_args.check_stride == 1
+
+    def test_engine_flag_parsing(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "--workers", "4",
+                "--check-stride", "8",
+                "--store-dir", "results",
+                "--resume",
+            ]
+        )
+        assert args.workers == 4
+        assert args.check_stride == 8
+        assert args.store_dir == "results"
+        assert args.resume is True
+
     def test_rejects_unknown_algorithm(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--algorithm", "telepathy"])
+
+    def test_rejects_non_positive_engine_flags(self, capsys):
+        for argv, fragment in (
+            (["sweep", "--workers", "0"], "must be >= 1"),
+            (["sweep", "--check-stride", "0"], "must be >= 1"),
+            (["run", "--check-stride", "-3"], "must be >= 1"),
+            (["sweep", "--workers", "two"], "expected an integer"),
+        ):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(argv)
+            assert fragment in capsys.readouterr().err
 
 
 class TestCommands:
@@ -71,6 +106,43 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "log-log slope" in out
+
+    def test_sweep_with_engine_store_and_resume(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--sizes", "64,96",
+            "--epsilon", "0.3",
+            "--trials", "1",
+            "--algorithms", "geographic",
+            "--workers", "2",
+            "--check-stride", "2",
+            "--store-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "store:" in first
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resuming past 2 finished cells" in second
+        # Identical numbers whether computed or resumed from the store.
+        assert first.splitlines()[-6:] == second.splitlines()[-6:]
+
+    def test_resume_requires_store_dir(self, capsys):
+        assert main(["sweep", "--resume"]) == 2
+        assert "--resume requires --store-dir" in capsys.readouterr().err
+
+    def test_run_with_check_stride(self, capsys):
+        code = main(
+            [
+                "run",
+                "--algorithm", "randomized",
+                "--n", "64",
+                "--epsilon", "0.3",
+                "--check-stride", "4",
+            ]
+        )
+        assert code == 0
+        assert "converged" in capsys.readouterr().out
 
     def test_inspect_command(self, capsys):
         code = main(["inspect", "--n", "256", "--leaf-threshold", "24"])

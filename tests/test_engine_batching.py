@@ -1,0 +1,242 @@
+"""Unit tests for repro.engine.batching (batched tick execution)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.batching import run_batched, split_streams
+from repro.experiments.config import make_algorithm
+from repro.experiments.seeds import spawn_rng
+from repro.graphs.rgg import RandomGeometricGraph
+from repro.routing.cost import TransmissionCounter
+
+
+@pytest.fixture(scope="module")
+def instance():
+    rng = np.random.default_rng(42)
+    graph = RandomGeometricGraph.sample_connected(64, rng, radius_constant=3.0)
+    values = rng.normal(size=64)
+    return graph, values
+
+
+class TestDegenerateCase:
+    """check_stride=1 must reproduce the legacy scalar loop bit for bit."""
+
+    @pytest.mark.parametrize("name", ["randomized", "geographic"])
+    def test_bit_identical_to_legacy_run(self, instance, name):
+        graph, values = instance
+        legacy = make_algorithm(name, graph).run(
+            values, 0.25, spawn_rng(7, "run", name)
+        )
+        batched = run_batched(
+            make_algorithm(name, graph),
+            values,
+            0.25,
+            spawn_rng(7, "run", name),
+            check_stride=1,
+        )
+        np.testing.assert_array_equal(legacy.values, batched.values)
+        assert legacy.transmissions == batched.transmissions
+        assert legacy.ticks == batched.ticks
+        assert legacy.error == batched.error
+        assert [(p.transmissions, p.ticks, p.error) for p in legacy.trace.points] == [
+            (p.transmissions, p.ticks, p.error) for p in batched.trace.points
+        ]
+
+    def test_validation(self, instance):
+        graph, values = instance
+        algorithm = make_algorithm("randomized", graph)
+        rng = spawn_rng(1, "x")
+        with pytest.raises(ValueError):
+            run_batched(algorithm, values, 0.25, rng, check_stride=0)
+        with pytest.raises(ValueError):
+            run_batched(algorithm, values, 0.25, rng, check_stride=2, block_size=0)
+        with pytest.raises(ValueError):
+            run_batched(algorithm, values, -1.0, rng, check_stride=2)
+        with pytest.raises(ValueError):
+            run_batched(algorithm, values[:10], 0.25, rng, check_stride=2)
+
+
+class TestBatchedPath:
+    @pytest.mark.parametrize("name", ["randomized", "geographic"])
+    def test_converges_and_conserves_mean(self, instance, name):
+        graph, values = instance
+        result = run_batched(
+            make_algorithm(name, graph),
+            values,
+            0.25,
+            spawn_rng(7, "run", name),
+            check_stride=4,
+        )
+        assert result.converged
+        assert result.error <= 0.25
+        # Pairwise averaging conserves the sum, batched or not.
+        assert result.values.mean() == pytest.approx(values.mean(), abs=1e-12)
+
+    def test_deterministic(self, instance):
+        graph, values = instance
+        runs = [
+            run_batched(
+                make_algorithm("randomized", graph),
+                values,
+                0.25,
+                spawn_rng(7, "run"),
+                check_stride=4,
+            )
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(runs[0].values, runs[1].values)
+        assert runs[0].ticks == runs[1].ticks
+        assert runs[0].transmissions == runs[1].transmissions
+
+    def test_block_size_invariance(self, instance):
+        """Results are a function of (seed, stride), never of chunking."""
+        graph, values = instance
+        results = [
+            run_batched(
+                make_algorithm("randomized", graph),
+                values,
+                0.25,
+                spawn_rng(7, "run"),
+                check_stride=4,
+                block_size=block_size,
+            )
+            for block_size in (1, 7, 8192)
+        ]
+        for other in results[1:]:
+            np.testing.assert_array_equal(results[0].values, other.values)
+            assert results[0].ticks == other.ticks
+            assert results[0].transmissions == other.transmissions
+
+    def test_stride_equivalence_of_stopping_rule(self, instance):
+        """Strided checking stops at the same crossing, up to one window.
+
+        The batched path cannot stop *short* of the ε-crossing (the check
+        only ever runs after more ticks than the legacy period), and its
+        transmissions-to-ε agree with the legacy path to within the extra
+        ticks of at most one check window.
+        """
+        graph, values = instance
+        legacy = run_batched(
+            make_algorithm("randomized", graph),
+            values,
+            0.25,
+            spawn_rng(7, "run"),
+            check_stride=1,
+        )
+        for stride in (2, 8):
+            strided = run_batched(
+                make_algorithm("randomized", graph),
+                values,
+                0.25,
+                spawn_rng(7, "run"),
+                check_stride=stride,
+            )
+            assert strided.converged
+            assert strided.error <= 0.25
+            # Checks land on multiples of the strided window.
+            window = stride * max(1, graph.n // 4)
+            assert strided.ticks % window == 0
+            # Same order of magnitude as the legacy stopping tick.
+            assert strided.ticks <= legacy.ticks + 2 * window
+            assert strided.ticks >= legacy.ticks // 4
+
+    def test_round_based_protocol_runs_natively_at_any_stride(self, instance):
+        """Hierarchical gossip has no tick loop; the engine passes through."""
+        graph, values = instance
+        native = make_algorithm("hierarchical", graph).run(
+            values, 0.25, spawn_rng(7, "run", "hierarchical")
+        )
+        engine = run_batched(
+            make_algorithm("hierarchical", graph),
+            values,
+            0.25,
+            spawn_rng(7, "run", "hierarchical"),
+            check_stride=8,
+        )
+        np.testing.assert_array_equal(native.values, engine.values)
+        assert native.transmissions == engine.transmissions
+        assert native.ticks == engine.ticks
+
+    def test_tick_budget_respected(self, instance):
+        graph, values = instance
+        result = run_batched(
+            make_algorithm("randomized", graph),
+            values,
+            1e-9,
+            spawn_rng(7, "run"),
+            check_stride=4,
+            max_ticks=100,
+        )
+        assert not result.converged
+        assert result.ticks == 100
+
+
+class TestSplitStreams:
+    def test_deterministic_and_distinct(self):
+        a_owner, a_proto = split_streams(spawn_rng(5, "s"))
+        b_owner, b_proto = split_streams(spawn_rng(5, "s"))
+        np.testing.assert_array_equal(a_owner.random(8), b_owner.random(8))
+        np.testing.assert_array_equal(a_proto.random(8), b_proto.random(8))
+        c_owner, c_proto = split_streams(spawn_rng(5, "s"))
+        assert not np.array_equal(c_owner.random(8), c_proto.random(8))
+
+
+class TestTickBlockHooks:
+    def test_default_tick_block_matches_scalar_ticks(self, instance):
+        """The base-class hook is literally the scalar loop."""
+        graph, values = instance
+        algorithm = make_algorithm("geographic", graph)
+        owners = spawn_rng(3, "owners").integers(graph.n, size=50)
+
+        block_values = values.copy()
+        block_counter = TransmissionCounter()
+        algorithm.tick_block(
+            owners, block_values, block_counter, spawn_rng(3, "proto")
+        )
+
+        scalar_values = values.copy()
+        scalar_counter = TransmissionCounter()
+        scalar_rng = spawn_rng(3, "proto")
+        for node in owners:
+            algorithm.tick(int(node), scalar_values, scalar_counter, scalar_rng)
+
+        np.testing.assert_array_equal(block_values, scalar_values)
+        assert block_counter.snapshot() == scalar_counter.snapshot()
+
+    def test_randomized_tick_block_contract(self, instance):
+        """The vectorized override: same costs, conserved sum, fixed draws."""
+        graph, values = instance
+        algorithm = make_algorithm("randomized", graph)
+        owners = spawn_rng(3, "owners").integers(graph.n, size=128)
+
+        out = values.copy()
+        counter = TransmissionCounter()
+        rng = spawn_rng(3, "proto")
+        algorithm.tick_block(owners, out, counter, rng)
+
+        # Every owner has neighbours on a connected graph: 2 tx per tick.
+        assert counter.snapshot() == {"near": 256, "total": 256}
+        assert out.mean() == pytest.approx(values.mean(), abs=1e-12)
+        # Fixed draw count per tick: the stream advanced by exactly one
+        # double per owner (the block-partitioning contract).
+        reference = spawn_rng(3, "proto")
+        reference.random(len(owners))
+        np.testing.assert_array_equal(rng.random(4), reference.random(4))
+
+    def test_chunked_tick_blocks_equal_one_block(self, instance):
+        graph, values = instance
+        algorithm = make_algorithm("randomized", graph)
+        owners = spawn_rng(3, "owners").integers(graph.n, size=100)
+
+        whole = values.copy()
+        whole_counter = TransmissionCounter()
+        algorithm.tick_block(owners, whole, whole_counter, spawn_rng(3, "p"))
+
+        chunked = values.copy()
+        chunked_counter = TransmissionCounter()
+        chunk_rng = spawn_rng(3, "p")
+        for part in (owners[:33], owners[33:70], owners[70:]):
+            algorithm.tick_block(part, chunked, chunked_counter, chunk_rng)
+
+        np.testing.assert_array_equal(whole, chunked)
+        assert whole_counter.snapshot() == chunked_counter.snapshot()

@@ -1,0 +1,125 @@
+"""Unit tests for repro.engine.executor (parallel sweep execution)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import (
+    SweepCell,
+    execute_cell,
+    expand_grid,
+    run_sweep_records,
+)
+from repro.experiments import (
+    ExperimentConfig,
+    aggregate_records,
+    aggregate_trials,
+    run_convergence,
+    run_scaling_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(
+        sizes=(64, 96),
+        epsilon=0.3,
+        trials=2,
+        radius_constant=3.0,
+        algorithms=("randomized", "geographic"),
+    )
+
+
+class TestGrid:
+    def test_expand_grid_covers_every_cell(self, config):
+        grid = expand_grid(config)
+        assert len(grid) == 2 * 2 * 2
+        assert len(set(cell.key for cell in grid)) == len(grid)
+        assert grid[0] == SweepCell(algorithm="randomized", n=64, trial=0)
+        assert {cell.n for cell in grid} == {64, 96}
+
+    def test_workers_validation(self, config):
+        with pytest.raises(ValueError):
+            run_sweep_records(config, workers=0)
+
+
+class TestExecuteCell:
+    def test_matches_legacy_convergence_run(self, config):
+        """A cell record equals the serial runner's result on the same seeds."""
+        legacy = run_convergence(config, 64, trial=1)
+        for run in legacy:
+            record = execute_cell(
+                config, SweepCell(algorithm=run.algorithm, n=64, trial=1)
+            )
+            assert dict(record.transmissions) == run.result.transmissions
+            assert record.ticks == run.result.ticks
+            assert record.converged == run.result.converged
+            assert record.error == run.result.error
+
+    def test_record_roundtrips_through_dict(self, config):
+        record = execute_cell(config, SweepCell("randomized", 64, 0))
+        clone = type(record).from_dict(record.to_dict())
+        assert clone == record
+        assert clone.key == ("randomized", 64, 0)
+        assert clone.total_transmissions == record.total_transmissions
+
+
+class TestDeterminism:
+    def test_serial_equals_parallel(self, config):
+        """Same seeds => identical records at any worker count."""
+        serial = run_sweep_records(config, workers=1)
+        parallel = run_sweep_records(config, workers=2)
+        assert serial.keys() == parallel.keys()
+        for key in serial:
+            assert serial[key] == parallel[key], key
+
+    def test_serial_equals_parallel_with_stride(self, config):
+        serial = run_sweep_records(config, workers=1, check_stride=4)
+        parallel = run_sweep_records(config, workers=2, check_stride=4)
+        assert serial == parallel
+
+    def test_sweep_matches_legacy_aggregation(self, config):
+        """run_scaling_sweep reproduces the historical serial sweep numbers."""
+        sweep = run_scaling_sweep(config)
+        for n in config.sizes:
+            by_algorithm = {name: [] for name in config.algorithms}
+            for trial in range(config.trials):
+                for run in run_convergence(config, n, trial):
+                    by_algorithm[run.algorithm].append(run.result)
+            for name, results in by_algorithm.items():
+                expected = aggregate_trials(name, n, results)
+                point = next(p for p in sweep[name] if p.n == n)
+                assert point == expected
+
+
+class TestAggregation:
+    def test_aggregate_records_orders_and_averages(self, config):
+        records = run_sweep_records(config)
+        sweep = aggregate_records(config, records)
+        assert set(sweep) == set(config.algorithms)
+        for name in config.algorithms:
+            assert [p.n for p in sweep[name]] == list(config.sizes)
+            for point in sweep[name]:
+                counts = [
+                    records[(name, point.n, t)].total_transmissions
+                    for t in range(config.trials)
+                ]
+                assert point.transmissions_mean == pytest.approx(np.mean(counts))
+                assert point.transmissions_std == pytest.approx(np.std(counts))
+                assert point.trials == config.trials
+
+    def test_aggregate_records_tolerates_partial_grid(self, config):
+        records = run_sweep_records(config)
+        partial = {
+            key: record for key, record in records.items() if key[1] == 64
+        }
+        sweep = aggregate_records(config, partial)
+        for name in config.algorithms:
+            assert [p.n for p in sweep[name]] == [64]
+
+    def test_on_record_callback_sees_every_cell(self, config):
+        seen = []
+        run_sweep_records(
+            config, on_record=lambda record, fresh: seen.append((record.key, fresh))
+        )
+        assert len(seen) == len(expand_grid(config))
+        assert all(fresh for _, fresh in seen)

@@ -1,0 +1,169 @@
+"""Unit tests for repro.engine.store (persistent, resumable results)."""
+
+import json
+
+import pytest
+
+from repro.engine.executor import CellRecord, expand_grid, run_sweep_records
+from repro.engine.store import ResultStore, content_key
+from repro.experiments import ExperimentConfig
+from repro.experiments.report import sweep_from_store
+
+
+@pytest.fixture
+def config():
+    return ExperimentConfig(
+        sizes=(64,),
+        epsilon=0.3,
+        trials=2,
+        radius_constant=3.0,
+        algorithms=("randomized",),
+    )
+
+
+def _fake_record(config, trial=0, total=999_999):
+    return CellRecord(
+        algorithm="randomized",
+        n=64,
+        trial=trial,
+        epsilon=config.epsilon,
+        transmissions={"near": total, "total": total},
+        ticks=123,
+        converged=True,
+        error=0.1,
+    )
+
+
+class TestContentKey:
+    def test_stable(self, config):
+        assert content_key(config) == content_key(config)
+
+    def test_sensitive_to_config_and_stride(self, config):
+        keys = {
+            content_key(config),
+            content_key(config, check_stride=8),
+            content_key(ExperimentConfig(
+                sizes=(64,), epsilon=0.3, trials=3, radius_constant=3.0,
+                algorithms=("randomized",),
+            )),
+            content_key(ExperimentConfig(
+                sizes=(64,), epsilon=0.3, trials=2, radius_constant=3.0,
+                algorithms=("randomized",), root_seed=1,
+            )),
+        }
+        assert len(keys) == 4
+
+    def test_validation(self, config):
+        with pytest.raises(ValueError):
+            content_key(config, check_stride=0)
+
+
+class TestResultStore:
+    def test_roundtrip(self, tmp_path, config):
+        store = ResultStore(tmp_path, config)
+        record = _fake_record(config)
+        store.append(record)
+        store.append(_fake_record(config, trial=1))
+        loaded = ResultStore(tmp_path, config).load_records()
+        assert len(loaded) == 2
+        assert loaded[record.key] == record
+        assert store.config_path.exists()
+        descriptor = json.loads(store.config_path.read_text())
+        assert descriptor["epsilon"] == config.epsilon
+
+    def test_duplicate_cells_last_wins(self, tmp_path, config):
+        store = ResultStore(tmp_path, config)
+        store.append(_fake_record(config, total=1))
+        store.append(_fake_record(config, total=2))
+        (loaded,) = store.load_records().values()
+        assert loaded.total_transmissions == 2
+
+    def test_tolerates_truncated_tail(self, tmp_path, config):
+        store = ResultStore(tmp_path, config)
+        store.append(_fake_record(config))
+        with open(store.records_path, "a", encoding="utf-8") as handle:
+            handle.write('{"algorithm": "randomized", "n": 64, "tr')
+        assert len(store.load_records()) == 1
+
+    def test_reset_drops_cells(self, tmp_path, config):
+        store = ResultStore(tmp_path, config)
+        store.append(_fake_record(config))
+        store.reset()
+        assert len(store) == 0
+        assert store.config_path.exists()
+
+    def test_different_strides_never_collide(self, tmp_path, config):
+        plain = ResultStore(tmp_path, config).open()
+        strided = ResultStore(tmp_path, config, check_stride=8).open()
+        assert plain.directory != strided.directory
+
+
+class TestResume:
+    def test_stored_cells_are_not_recomputed(self, tmp_path, config):
+        """A sentinel record survives the sweep untouched => cell skipped."""
+        store = ResultStore(tmp_path, config)
+        sentinel = _fake_record(config, trial=0)
+        store.append(sentinel)
+        records = run_sweep_records(config, store=store)
+        assert len(records) == len(expand_grid(config))
+        assert records[sentinel.key] == sentinel
+        # The genuinely computed cell does not look like the sentinel.
+        other = records[("randomized", 64, 1)]
+        assert other.total_transmissions != sentinel.total_transmissions
+
+    def test_interrupted_sweep_completes_from_store(self, tmp_path, config):
+        reference = run_sweep_records(config)
+        store = ResultStore(tmp_path, config)
+        # "Interrupted" run: only the first grid cell made it to disk.
+        first_key = expand_grid(config)[0].key
+        store.append(reference[first_key])
+        resumed = run_sweep_records(config, store=store)
+        assert resumed == reference
+        # And the store now holds the full grid for the next resume.
+        assert len(ResultStore(tmp_path, config)) == len(expand_grid(config))
+
+    def test_resume_reports_reused_cells(self, tmp_path, config):
+        store = ResultStore(tmp_path, config)
+        run_sweep_records(config, store=store)
+        seen = []
+        run_sweep_records(
+            config,
+            store=store,
+            on_record=lambda record, fresh: seen.append(fresh),
+        )
+        assert seen == [False] * len(expand_grid(config))
+
+    def test_stride_mismatch_with_store_is_rejected(self, tmp_path, config):
+        """Records from different strides must never blend in one result."""
+        store = ResultStore(tmp_path, config, check_stride=1)
+        with pytest.raises(ValueError, match="check_stride"):
+            run_sweep_records(config, check_stride=8, store=store)
+
+    def test_foreign_cells_in_store_are_ignored(self, tmp_path, config):
+        store = ResultStore(tmp_path, config)
+        foreign = CellRecord(
+            algorithm="randomized",
+            n=512,  # not part of this sweep's grid
+            trial=0,
+            epsilon=config.epsilon,
+            transmissions={"total": 5},
+            ticks=5,
+            converged=False,
+            error=0.9,
+        )
+        store.append(foreign)
+        records = run_sweep_records(config, store=store)
+        assert foreign.key not in records
+        assert len(records) == len(expand_grid(config))
+
+
+class TestReportIntegration:
+    def test_sweep_from_store_aggregates_partial_results(self, tmp_path, config):
+        reference = run_sweep_records(config)
+        store = ResultStore(tmp_path, config)
+        store.append(reference[("randomized", 64, 0)])
+        partial = sweep_from_store(store)
+        assert [p.trials for p in partial["randomized"]] == [1]
+        run_sweep_records(config, store=store)
+        complete = sweep_from_store(store)
+        assert [p.trials for p in complete["randomized"]] == [config.trials]
