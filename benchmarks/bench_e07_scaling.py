@@ -25,12 +25,14 @@ reproduces in E9/E14; its asymptotic win is a model-level statement with
 constants that place the crossover far beyond simulable n.
 """
 
+import dataclasses
 import math
 import os
+import time
 
 import numpy as np
 
-from _common import emit, timed_pedantic
+from _common import emit, emit_timing, timed_pedantic
 from repro.analysis import (
     geographic_gossip_prediction,
     paper_headline_form,
@@ -55,6 +57,13 @@ EPSILON = 0.2
 # makes the numbers identical at any worker count, so parallelism is free.
 WORKERS = max(1, min(4, os.cpu_count() or 1))
 
+# Strided error checks ride the vectorized tick_block fast paths (all
+# three tick-driven contenders implement them; hierarchical is
+# round-based and passes through).  The coarser stopping rule can only
+# overshoot the ε-crossing by one check window, which scales like the
+# tick count itself — so fitted slopes are unaffected.
+CHECK_STRIDE = 4
+
 
 def test_e07_scaling(benchmark):
     # A gradient field excites the slow eigenmode the worst-case bounds
@@ -63,15 +72,42 @@ def test_e07_scaling(benchmark):
         sizes=SIZES, epsilon=EPSILON, trials=2, field="gradient"
     )
 
-    sweep = timed_pedantic(
+    def sweep_per_protocol():
+        """The full grid, one timed per-protocol sweep at a time.
+
+        Cells are identical to one merged sweep (instances depend only on
+        ``(n, trial)``); partitioning by protocol is what makes the
+        per-protocol wall-clock attributable.
+        """
+        merged, seconds = {}, {}
+        for name in config.algorithms:
+            single = dataclasses.replace(config, algorithms=(name,))
+            start = time.perf_counter()
+            part = run_scaling_sweep(
+                single, workers=WORKERS, check_stride=CHECK_STRIDE
+            )
+            seconds[name] = time.perf_counter() - start
+            merged[name] = part[name]
+        return merged, seconds
+
+    sweep, protocol_seconds = timed_pedantic(
         benchmark,
         "e07_scaling",
-        lambda: run_scaling_sweep(config, workers=WORKERS),
+        sweep_per_protocol,
         workers=WORKERS,
-        check_stride=1,
+        check_stride=CHECK_STRIDE,
         sizes=list(SIZES),
         trials=config.trials,
     )
+    for name, seconds in protocol_seconds.items():
+        emit_timing(
+            f"e07_{name}",
+            seconds,
+            workers=WORKERS,
+            check_stride=CHECK_STRIDE,
+            sizes=list(SIZES),
+            trials=config.trials,
+        )
 
     rows = []
     for n in SIZES:

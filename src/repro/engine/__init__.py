@@ -24,7 +24,13 @@ large scaling sweeps:
 benchmarks route through them, so every experiment inherits the engine.
 """
 
-from repro.engine.batching import DEFAULT_BLOCK_SIZE, run_batched, split_streams
+from repro.engine.batching import (
+    DEFAULT_BLOCK_SIZE,
+    ScalarFallbackWarning,
+    batching_capability,
+    run_batched,
+    split_streams,
+)
 from repro.engine.executor import (
     CellRecord,
     SweepCell,
@@ -39,7 +45,9 @@ __all__ = [
     "CellRecord",
     "DEFAULT_BLOCK_SIZE",
     "ResultStore",
+    "ScalarFallbackWarning",
     "SweepCell",
+    "batching_capability",
     "build_instance",
     "content_key",
     "execute_cell",

@@ -32,6 +32,8 @@ stopping rule can only run *past* the crossing, never stop short of it).
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.gossip.base import AsynchronousGossip, GossipRunResult
@@ -39,11 +41,48 @@ from repro.metrics.error import normalized_error
 from repro.metrics.trace import ConvergenceTrace
 from repro.routing.cost import TransmissionCounter
 
-__all__ = ["DEFAULT_BLOCK_SIZE", "run_batched", "split_streams"]
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "ScalarFallbackWarning",
+    "batching_capability",
+    "run_batched",
+    "split_streams",
+]
 
 #: Upper bound on one vectorized owner-sampling block.  Large enough to
 #: amortize the RNG call, small enough to keep peak memory trivial.
 DEFAULT_BLOCK_SIZE = 8192
+
+
+class ScalarFallbackWarning(UserWarning):
+    """A ``check_stride > 1`` run hit the scalar per-tick fallback.
+
+    The protocol never overrode
+    :meth:`~repro.gossip.base.AsynchronousGossip.tick_block`, so the
+    batched engine is only amortizing owner sampling and error checks —
+    the protocol's own per-tick randomness still runs one scalar RNG call
+    at a time.  The run is correct; it is just not getting the fast path
+    the stride suggests it should.
+    """
+
+
+def batching_capability(algorithm: AsynchronousGossip | type) -> str:
+    """How ``algorithm`` executes under the batched engine.
+
+    Returns one of:
+
+    * ``"block"``  — overrides ``tick_block``; the vectorized fast path.
+    * ``"scalar"`` — tick-driven but falls back to per-tick execution
+      inside each block (the base-class hook).
+    * ``"rounds"`` — not tick-driven at all (e.g. the hierarchical
+      executor); the engine passes it through to its native ``run``.
+    """
+    cls = algorithm if isinstance(algorithm, type) else type(algorithm)
+    if not issubclass(cls, AsynchronousGossip):
+        return "rounds"
+    if cls.tick_block is AsynchronousGossip.tick_block:
+        return "scalar"
+    return "block"
 
 
 def split_streams(
@@ -115,6 +154,16 @@ def run_batched(
             rng,
             max_ticks=max_ticks,
             trace_thinning=trace_thinning,
+        )
+
+    if batching_capability(algorithm) == "scalar":
+        warnings.warn(
+            f"{algorithm.name!r} does not override tick_block: "
+            f"check_stride={check_stride} amortizes owner sampling and "
+            "error checks, but the protocol's per-tick randomness still "
+            "runs scalar — implement tick_block for the full fast path",
+            ScalarFallbackWarning,
+            stacklevel=2,
         )
 
     n = algorithm.n

@@ -185,6 +185,10 @@ def run_sweep_records(
     store:
         Optional :class:`ResultStore`.  Cells it already holds are *not*
         recomputed; newly finished cells are appended as they complete.
+        Opening the store enforces the capability guard: a
+        ``check_stride > 1`` store refuses to resume if any protocol's
+        batching capability (scalar fallback vs vectorized ``tick_block``)
+        changed since the store was created.
     on_record:
         Optional callback ``(record, fresh)`` invoked once per grid cell —
         ``fresh`` is False for cells reused from the store.

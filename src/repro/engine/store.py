@@ -18,6 +18,17 @@ Appends are line-atomic in practice (single short ``write`` + flush); a
 run killed mid-write leaves at most one truncated trailing line, which
 :meth:`ResultStore.load_records` tolerates by skipping lines that fail to
 parse.  A skipped line simply means that cell gets recomputed.
+
+``config.json`` additionally records each protocol's engine batching
+capability (``"block"`` / ``"scalar"`` / ``"rounds"``) at the time the
+store was created.  The capability is *not* part of the content key —
+the key identifies the sweep definition, not the engine version — but a
+``check_stride > 1`` store refuses to reopen if a protocol's capability
+has since changed: the scalar fallback and the vectorized block path
+consume protocol randomness differently, so mixing their cells in one
+``cells.jsonl`` would blend non-identical numbers (mirrors the
+stride-mismatch guard in the executor).  At stride 1 every protocol runs
+the same legacy loop, so the guard does not apply.
 """
 
 from __future__ import annotations
@@ -83,35 +94,85 @@ class ResultStore:
         config: ExperimentConfig,
         check_stride: int = 1,
     ):
+        # Imported at call time: repro.experiments sits above the engine.
+        from repro.experiments.config import protocol_batching
+
         self.root = Path(root)
         self.config = config
         self.check_stride = check_stride
+        self.batching = protocol_batching(config.algorithms)
         self.key = content_key(config, check_stride)
         self.directory = self.root / self.key
         self.records_path = self.directory / "cells.jsonl"
         self.config_path = self.directory / "config.json"
 
     def open(self) -> "ResultStore":
-        """Create the directory and config descriptor if absent."""
+        """Create the directory and config descriptor if absent.
+
+        Raises :class:`ValueError` when reopening a ``check_stride > 1``
+        store whose recorded protocol batching capabilities no longer
+        match the current engine — the stored cells ran a different
+        execution path than fresh cells would, and the two must not mix.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
-        if not self.config_path.exists():
-            self.config_path.write_text(
-                json.dumps(
-                    _config_payload(self.config, self.check_stride),
-                    indent=2,
-                    sort_keys=True,
+        if self.config_path.exists():
+            recorded = self.recorded_batching()
+            if (
+                self.check_stride > 1
+                and recorded is not None
+                and recorded != self.batching
+            ):
+                drifted = sorted(
+                    name
+                    for name in self.batching
+                    if recorded.get(name) != self.batching[name]
                 )
-                + "\n",
+                raise ValueError(
+                    f"store {self.directory} recorded batching "
+                    f"capabilities {recorded} but the current engine has "
+                    f"{self.batching} (drifted: {drifted}); at "
+                    f"check_stride={self.check_stride} the scalar and "
+                    "block paths produce non-identical numbers, so this "
+                    "store cannot be resumed — use a fresh store "
+                    "directory or reset this one"
+                )
+        else:
+            payload = _config_payload(self.config, self.check_stride)
+            payload["batching"] = dict(self.batching)
+            self.config_path.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
                 encoding="utf-8",
             )
         return self
 
+    def recorded_batching(self) -> dict[str, str] | None:
+        """The capability map persisted in ``config.json``.
+
+        ``None`` when the store does not exist yet or predates capability
+        recording (a legacy store, tolerated for backward compatibility).
+        """
+        if not self.config_path.exists():
+            return None
+        try:
+            payload = json.loads(self.config_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            return None
+        batching = payload.get("batching")
+        if not isinstance(batching, dict):
+            return None
+        return {str(k): str(v) for k, v in batching.items()}
+
     def reset(self) -> "ResultStore":
-        """Drop any persisted cells (a fresh, non-resuming run)."""
-        self.open()
+        """Drop any persisted cells and descriptor (a fresh run).
+
+        The escape hatch for a capability-drift refusal: the stale
+        ``config.json`` is rewritten, so :meth:`open` succeeds again.
+        """
         if self.records_path.exists():
             self.records_path.unlink()
-        return self
+        if self.config_path.exists():
+            self.config_path.unlink()
+        return self.open()
 
     def append(self, record: CellRecord) -> None:
         """Persist one finished cell (one JSON line, flushed immediately)."""

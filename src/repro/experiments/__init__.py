@@ -18,8 +18,10 @@ the experiment-facing API over that engine.
 
 from repro.experiments.config import (
     ALGORITHMS,
+    ALGORITHM_CLASSES,
     ExperimentConfig,
     make_algorithm,
+    protocol_batching,
 )
 from repro.experiments.runner import (
     ConvergenceRun,
@@ -35,6 +37,7 @@ from repro.experiments.tables import format_table, format_value
 
 __all__ = [
     "ALGORITHMS",
+    "ALGORITHM_CLASSES",
     "ConvergenceRun",
     "ExperimentConfig",
     "ScalingPoint",
@@ -45,6 +48,7 @@ __all__ = [
     "format_table",
     "format_value",
     "make_algorithm",
+    "protocol_batching",
     "run_convergence",
     "run_scaling_sweep",
     "spawn_rng",

@@ -14,9 +14,16 @@ from typing import Callable
 from repro.gossip.geographic import GeographicGossip
 from repro.gossip.hierarchical.rounds import HierarchicalGossip
 from repro.gossip.randomized import RandomizedGossip
+from repro.gossip.spatial import SpatialGossip
 from repro.graphs.rgg import RandomGeometricGraph
 
-__all__ = ["ALGORITHMS", "make_algorithm", "ExperimentConfig"]
+__all__ = [
+    "ALGORITHMS",
+    "ALGORITHM_CLASSES",
+    "make_algorithm",
+    "protocol_batching",
+    "ExperimentConfig",
+]
 
 
 def _make_randomized(graph: RandomGeometricGraph):
@@ -32,19 +39,55 @@ def _make_hierarchical(graph: RandomGeometricGraph):
 
 
 def _make_spatial(graph: RandomGeometricGraph):
-    from repro.gossip.spatial import SpatialGossip
-
     return SpatialGossip(graph, rho=2.0)
 
+
+#: The single registry row per protocol: implementing class + factory.
+#: ALGORITHMS and ALGORITHM_CLASSES are both derived from this table so
+#: they can never drift apart (a name in one is always in the other).
+_REGISTRY: dict[str, tuple[type, Callable[[RandomGeometricGraph], object]]] = {
+    "randomized": (RandomizedGossip, _make_randomized),
+    "geographic": (GeographicGossip, _make_geographic),
+    "hierarchical": (HierarchicalGossip, _make_hierarchical),
+    "spatial": (SpatialGossip, _make_spatial),
+}
 
 #: name → factory(graph); the paper's three contenders plus the spatial
 #: gossip baseline of its related work (E15).
 ALGORITHMS: dict[str, Callable[[RandomGeometricGraph], object]] = {
-    "randomized": _make_randomized,
-    "geographic": _make_geographic,
-    "hierarchical": _make_hierarchical,
-    "spatial": _make_spatial,
+    name: factory for name, (_, factory) in _REGISTRY.items()
 }
+
+#: name → implementing class; what :func:`protocol_batching` inspects to
+#: classify each registered protocol without building a graph instance.
+ALGORITHM_CLASSES: dict[str, type] = {
+    name: cls for name, (cls, _) in _REGISTRY.items()
+}
+
+
+def protocol_batching(algorithms: tuple[str, ...] | list[str]) -> dict[str, str]:
+    """Engine batching capability for each named algorithm.
+
+    Maps each name to ``"block"`` / ``"scalar"`` / ``"rounds"`` (see
+    :func:`repro.engine.batching.batching_capability`).  The result store
+    persists this map so a resumed ``check_stride > 1`` sweep can detect
+    that a protocol's execution path changed between engine versions —
+    scalar-path and block-path cells carry non-identical numbers and must
+    not be mixed.
+    """
+    from repro.engine.batching import batching_capability
+
+    capabilities = {}
+    for name in algorithms:
+        try:
+            cls = ALGORITHM_CLASSES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown algorithm {name!r}; registered: "
+                f"{sorted(ALGORITHM_CLASSES)}"
+            ) from None
+        capabilities[name] = batching_capability(cls)
+    return capabilities
 
 
 def make_algorithm(name: str, graph: RandomGeometricGraph):

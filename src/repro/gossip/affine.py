@@ -104,6 +104,36 @@ class AffineGossipKn(AsynchronousGossip):
         )
         counter.charge(2, "exchange")
 
+    def tick_block(
+        self,
+        owners: np.ndarray,
+        values: np.ndarray,
+        counter: TransmissionCounter,
+        rng: np.random.Generator,
+    ) -> None:
+        """Batched ticks: partners drawn as one vectorized call per block.
+
+        Partner selection maps one double per tick onto the ``n - 1``
+        other nodes (``⌊u · (n−1)⌋``, shifted past the owner), so the
+        block consumes exactly ``len(owners)`` draws regardless of
+        chunking.  The cross-weighted pair updates themselves stay
+        sequential — each exchange reads the values earlier exchanges in
+        the block wrote, exactly as the scalar loop would.
+        """
+        picks = rng.random(len(owners))
+        alphas = self.alphas
+        last = self.n - 1
+        for node, pick in zip(owners.tolist(), picks.tolist()):
+            partner = int(pick * last)
+            if partner >= node:
+                partner += 1
+            alpha_i, alpha_j = alphas[node], alphas[partner]
+            xi, xj = values[node], values[partner]
+            values[node] = (1.0 - alpha_i) * xi + alpha_j * xj
+            values[partner] = (1.0 - alpha_j) * xj + alpha_i * xi
+        if len(owners):
+            counter.charge(2 * len(owners), "exchange")
+
     def tick_budget(self, epsilon: float) -> int:
         # Lemma 1: rate (1 - 1/2n) per tick => ~2n·log(1/ε²) ticks; 30x slack.
         log_term = 1 + 2 * abs(np.log(max(epsilon, 1e-12)))
@@ -154,3 +184,35 @@ class PerturbedAffineGossipKn(AffineGossipKn):
         values[node] += nu
         values[partner] -= nu
         counter.charge(2, "exchange")
+
+    def tick_block(
+        self,
+        owners: np.ndarray,
+        values: np.ndarray,
+        counter: TransmissionCounter,
+        rng: np.random.Generator,
+    ) -> None:
+        """Batched ticks: two doubles per tick (partner pick, noise).
+
+        The draws come from one ``(len(owners), 2)`` call, filled from
+        the stream in row-major order — tick ``t`` always consumes
+        doubles ``2t`` and ``2t + 1``, so chunking a run into different
+        block sizes leaves the stream alignment (and hence the results)
+        unchanged.
+        """
+        draws = rng.random((len(owners), 2))
+        alphas = self.alphas
+        last = self.n - 1
+        bound = self.noise_bound
+        for index, node in enumerate(owners.tolist()):
+            partner = int(draws[index, 0] * last)
+            if partner >= node:
+                partner += 1
+            alpha_i, alpha_j = alphas[node], alphas[partner]
+            xi, xj = values[node], values[partner]
+            # ±ν on the exchanging pair: antisymmetric, sum-conserving.
+            nu = (2.0 * draws[index, 1] - 1.0) * bound
+            values[node] = (1.0 - alpha_i) * xi + alpha_j * xj + nu
+            values[partner] = (1.0 - alpha_j) * xj + alpha_i * xi - nu
+        if len(owners):
+            counter.charge(2 * len(owners), "exchange")

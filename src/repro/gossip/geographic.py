@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.gossip.base import AsynchronousGossip
 from repro.graphs.rgg import RandomGeometricGraph
+from repro.routing.cache import CachedGreedyRouter
 from repro.routing.cost import TransmissionCounter
 from repro.routing.greedy import GreedyRouter
 from repro.routing.rejection import RejectionSampler
@@ -65,6 +66,9 @@ class GeographicGossip(AsynchronousGossip):
             )
         self.graph = graph
         self.router = GreedyRouter(graph)
+        # The batched tick path routes through the exact memoized router;
+        # the scalar loop keeps the plain one (bit-identical legacy path).
+        self.route_cache = CachedGreedyRouter(self.router)
         self.target_mode = target_mode
         self.sampler = (
             RejectionSampler(graph.positions, reference_quantile)
@@ -91,6 +95,58 @@ class GeographicGossip(AsynchronousGossip):
         average = 0.5 * (values[node] + values[target])
         values[node] = average
         values[target] = average
+
+    def tick_block(
+        self,
+        owners: np.ndarray,
+        values: np.ndarray,
+        counter: TransmissionCounter,
+        rng: np.random.Generator,
+    ) -> None:
+        """Batched ticks: targets pre-sampled per block, routes memoized.
+
+        ``uniform`` mode consumes one double per tick (mapped onto the
+        ``n − 1`` other nodes); ``position`` mode consumes two (the random
+        location).  Both come from a single vectorized call per block, so
+        the stream advances by a fixed number of draws per tick and
+        chunking cannot change the results.  ``rejection`` mode draws a
+        *variable* number of doubles per proposal loop, which only stays
+        chunk-invariant when consumed strictly in tick order — so it runs
+        the scalar per-tick loop (routes still memoized are not needed
+        there; each tick routes through :attr:`router` as usual).
+
+        Exchanges are applied sequentially in owner order with the same
+        abort-on-void rule as :meth:`tick`; routed costs are charged via
+        :attr:`route_cache`, which replays greedy paths exactly.
+        """
+        if self.target_mode == "rejection":
+            for node in owners:
+                self.tick(int(node), values, counter, rng)
+            return
+        if self.target_mode == "uniform":
+            picks = rng.random(len(owners))
+            last = self.n - 1
+            targets = []
+            for node, pick in zip(owners.tolist(), picks.tolist()):
+                target = int(pick * last)
+                targets.append(target + 1 if target >= node else target)
+        else:  # position: nearest node to a pre-sampled random location
+            points = rng.random((len(owners), 2))
+            targets = [
+                self.graph.nearest_node(points[index])
+                for index in range(len(owners))
+            ]
+        route = self.route_cache.round_trip
+        for node, target in zip(owners.tolist(), targets):
+            if target == node:
+                continue
+            forward, backward = route(node, target, counter)
+            if not (forward.delivered and backward.delivered):
+                self.failed_exchanges += 1
+                continue
+            average = 0.5 * (values[node] + values[target])
+            values[node] = average
+            values[target] = average
 
     def tick_budget(self, epsilon: float) -> int:
         # O(n log(1/ε)) exchanges suffice (complete-graph mixing); 40x slack.

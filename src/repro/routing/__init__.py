@@ -12,16 +12,23 @@ Three mechanisms from the paper and its predecessor (Dimakis et al. 2006):
   node to a uniform location" (biased by Voronoi cell areas) into a nearly
   uniform distribution over nodes.
 
+Greedy routing additionally has an exact memoized form
+(:mod:`repro.routing.cache`): greedy hops are deterministic per
+``(node, target)``, so the engine's batched tick path replays cached
+next-hop chains instead of re-walking paths, with identical results.
+
 All primitives charge their cost to a shared
 :class:`~repro.routing.cost.TransmissionCounter`.
 """
 
+from repro.routing.cache import CachedGreedyRouter
 from repro.routing.cost import TransmissionCounter
 from repro.routing.flooding import flood
 from repro.routing.greedy import GreedyRouter, RouteResult
 from repro.routing.rejection import RejectionSampler, voronoi_cell_areas
 
 __all__ = [
+    "CachedGreedyRouter",
     "GreedyRouter",
     "RejectionSampler",
     "RouteResult",

@@ -1,0 +1,163 @@
+"""Memoized greedy routing: per-target next-hop columns over :class:`GreedyRouter`.
+
+Greedy geographic forwarding is deterministic: the hop taken at node ``u``
+towards target node ``t`` depends only on ``(u, t)`` and the fixed graph.
+The first time a target ``t`` is routed to, :class:`CachedGreedyRouter`
+builds the *entire* next-hop column for ``t`` — the greedy successor of
+every node — in one vectorized segment-min pass over the flattened
+adjacency (``np.minimum.reduceat``).  One column build costs about as
+much as a single scalar route walk, and afterwards every route towards
+``t``, from any source, is a chain of O(1) array lookups.
+
+The cache is **exact**: the column applies the same elementwise IEEE
+arithmetic and the same first-minimum tie-breaking as the scalar
+:meth:`GreedyRouter._closest_neighbor` step, so
+:class:`CachedGreedyRouter` produces bit-identical
+:class:`~repro.routing.greedy.RouteResult` paths, delivery flags and
+transmission charges to the uncached router (tested).  It exists so the
+engine's batched tick path (`tick_block` in the routed protocols) can
+charge routed transmission costs without re-walking greedy paths; the
+legacy scalar loop keeps using the plain router.
+
+Memory is one ``n``-vector of node indices per distinct target ever
+routed to — at most O(n²) integers, and in practice bounded by the
+targets a run actually draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.rgg import RandomGeometricGraph
+from repro.routing.cost import TransmissionCounter
+from repro.routing.greedy import GreedyRouter, RouteResult
+
+__all__ = ["CachedGreedyRouter"]
+
+
+class CachedGreedyRouter:
+    """Exact drop-in for :class:`GreedyRouter`'s node-target routing.
+
+    Parameters
+    ----------
+    router:
+        The router to memoize, or a graph (a fresh router is built).
+
+    Attributes
+    ----------
+    hits / misses:
+        Route-level cache statistics: a miss builds the target's next-hop
+        column, a hit routes through an existing column.
+    """
+
+    def __init__(self, router: GreedyRouter | RandomGeometricGraph):
+        if isinstance(router, RandomGeometricGraph):
+            router = GreedyRouter(router)
+        self.router = router
+        self.graph = router.graph
+        neighbors = self.graph.neighbors
+        n = self.graph.n
+        degrees = np.array([adj.size for adj in neighbors], dtype=np.int64)
+        flat = (
+            np.concatenate(neighbors)
+            if degrees.sum()
+            else np.empty(0, dtype=np.int64)
+        )
+        offsets = np.zeros(n, dtype=np.int64)
+        np.cumsum(degrees[:-1], out=offsets[1:])
+        self._degrees = degrees
+        self._flat = flat
+        #: reduceat demands in-range start indices; empty trailing
+        #: segments are clipped here and masked out by ``_degrees > 0``.
+        self._safe_offsets = np.minimum(offsets, max(flat.size - 1, 0))
+        self._flat_index = np.arange(flat.size, dtype=np.int64)
+        self._nodes = np.arange(n, dtype=np.int64)
+        #: target node -> next-hop column (a plain list: per-hop indexing
+        #: is the innermost loop); ``column[u] == u`` marks "the route
+        #: towards this target ends at u" (arrived, or a void).
+        self._columns: dict[int, list[int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        """Number of cached next-hop columns (distinct targets seen)."""
+        return len(self._columns)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of routes served from an existing column."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def route_to_node(
+        self,
+        source: int,
+        target_node: int,
+        counter: TransmissionCounter | None = None,
+        category: str = "route",
+    ) -> RouteResult:
+        """Route ``source`` → ``target_node``; same contract as the router.
+
+        Fails (``delivered=False``) at a routing void exactly where the
+        uncached greedy walk would, because the column replays the
+        identical deterministic hop decisions.
+        """
+        column = self._columns.get(target_node)
+        if column is None:
+            self.misses += 1
+            column = self._build_column(target_node).tolist()
+            self._columns[target_node] = column
+        else:
+            self.hits += 1
+        path = [source]
+        current = source
+        while True:
+            nxt = column[current]
+            if nxt == current:
+                break
+            path.append(nxt)
+            current = nxt
+        if counter is not None and len(path) > 1:
+            counter.charge(len(path) - 1, category)
+        return RouteResult(path=tuple(path), delivered=current == target_node)
+
+    def round_trip(
+        self,
+        source: int,
+        target_node: int,
+        counter: TransmissionCounter | None = None,
+        category: str = "route",
+    ) -> tuple[RouteResult, RouteResult]:
+        """Cached mirror of :meth:`GreedyRouter.round_trip`."""
+        forward = self.route_to_node(source, target_node, counter, category)
+        backward = self.route_to_node(
+            forward.destination, source, counter, category
+        )
+        return forward, backward
+
+    def _build_column(self, target_node: int) -> np.ndarray:
+        """Every node's greedy next hop towards ``target_node``, vectorized.
+
+        Replicates the scalar stopping rule bit for bit: the squared
+        distances are the same elementwise IEEE operations the scalar
+        path computes, segment minima break ties on the first minimal
+        neighbour (as ``np.argmin`` does), and a node whose best
+        neighbour is not *strictly* closer maps to itself.
+        """
+        positions = self.router._positions
+        diff = positions - positions[target_node]
+        dist_sq = diff[:, 0] ** 2 + diff[:, 1] ** 2
+        if self._flat.size == 0:
+            return self._nodes.copy()
+        neighbor_sq = dist_sq[self._flat]
+        segment_min = np.minimum.reduceat(neighbor_sq, self._safe_offsets)
+        # First index attaining the per-segment minimum == np.argmin.
+        masked_index = np.where(
+            neighbor_sq == np.repeat(segment_min, self._degrees),
+            self._flat_index,
+            self._flat.size,
+        )
+        first_index = np.minimum.reduceat(masked_index, self._safe_offsets)
+        best_neighbor = self._flat[np.minimum(first_index, self._flat.size - 1)]
+        progress = (self._degrees > 0) & (segment_min < dist_sq)
+        return np.where(progress, best_neighbor, self._nodes)

@@ -1,0 +1,191 @@
+"""Shared golden-trace equivalence harness for gossip protocols.
+
+Every protocol that runs under :func:`repro.engine.batching.run_batched`
+owes the engine two contracts:
+
+1. **Stride-1 bit-identity** — ``run_batched(check_stride=1)`` must equal
+   the legacy scalar loop bit for bit (values, transmissions, ticks,
+   error, and every trace point).
+2. **Block-size invariance** — at any ``check_stride``, results are a
+   pure function of ``(seed, stride)``: the internal ``block_size`` used
+   to chunk owner sampling must never leak into the numbers.
+
+This module factors those assertions (plus strided determinism) into
+reusable helpers and a registry of ready-made protocol cases, so adding a
+protocol to the golden suite is one `ProtocolCase` entry — future
+protocols get the whole equivalence battery for free by registering here
+and parametrizing over :func:`case_names`.
+
+Not a test module itself (no ``test_`` prefix): imported by
+``test_golden_traces.py`` and ``test_protocol_properties.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.engine.batching import run_batched
+from repro.experiments.seeds import spawn_rng
+from repro.gossip.affine import (
+    AffineGossipKn,
+    PerturbedAffineGossipKn,
+    sample_alphas,
+)
+from repro.gossip.base import GossipRunResult
+from repro.gossip.geographic import GeographicGossip
+from repro.gossip.hierarchical.rounds import HierarchicalGossip
+from repro.gossip.randomized import RandomizedGossip
+from repro.gossip.spatial import SpatialGossip
+from repro.graphs.rgg import RandomGeometricGraph
+
+#: One shared substrate for every graph-based case: small enough that the
+#: full battery runs in seconds, dense enough that routing never voids.
+_N = 48
+_GRAPH = RandomGeometricGraph.sample_connected(
+    _N, np.random.default_rng(20070801), radius_constant=3.0
+)
+_VALUES = np.random.default_rng(4242).normal(size=_N)
+_ALPHAS = sample_alphas(_N, np.random.default_rng(99))
+
+
+@dataclass(frozen=True)
+class ProtocolCase:
+    """One protocol under test: a fresh-instance factory plus run knobs."""
+
+    name: str
+    factory: Callable[[], object]
+    epsilon: float = 0.25
+    #: Round-based protocols have no tick loop: stride/block contracts do
+    #: not apply, only the stride-1 pass-through identity.
+    tick_driven: bool = True
+
+
+CASES: dict[str, ProtocolCase] = {
+    case.name: case
+    for case in (
+        ProtocolCase(
+            "randomized", lambda: RandomizedGossip(_GRAPH.neighbors)
+        ),
+        ProtocolCase(
+            "geographic-uniform",
+            lambda: GeographicGossip(_GRAPH, target_mode="uniform"),
+        ),
+        ProtocolCase(
+            "geographic-position",
+            lambda: GeographicGossip(_GRAPH, target_mode="position"),
+        ),
+        ProtocolCase(
+            "geographic-rejection",
+            lambda: GeographicGossip(_GRAPH, target_mode="rejection"),
+        ),
+        ProtocolCase("spatial", lambda: SpatialGossip(_GRAPH, rho=2.0)),
+        ProtocolCase(
+            "affine-kn", lambda: AffineGossipKn(_N, alphas=_ALPHAS)
+        ),
+        ProtocolCase(
+            "affine-kn-perturbed",
+            lambda: PerturbedAffineGossipKn(
+                _N, noise_bound=1e-4, alphas=_ALPHAS
+            ),
+        ),
+        ProtocolCase(
+            "hierarchical",
+            lambda: HierarchicalGossip(_GRAPH),
+            tick_driven=False,
+        ),
+    )
+}
+
+
+def case_names(tick_driven: bool | None = None) -> list[str]:
+    """Registered case names, optionally filtered to tick-driven ones."""
+    return [
+        name
+        for name, case in CASES.items()
+        if tick_driven is None or case.tick_driven == tick_driven
+    ]
+
+
+def initial_values() -> np.ndarray:
+    """The shared field every case starts from (copied per run)."""
+    return _VALUES.copy()
+
+
+def assert_results_identical(
+    left: GossipRunResult, right: GossipRunResult, context: str = ""
+) -> None:
+    """Bit-level equality of two run results, traces included."""
+    suffix = f" ({context})" if context else ""
+    np.testing.assert_array_equal(
+        left.values, right.values, err_msg=f"values differ{suffix}"
+    )
+    assert left.transmissions == right.transmissions, (
+        f"transmissions differ{suffix}"
+    )
+    assert left.ticks == right.ticks, f"ticks differ{suffix}"
+    assert left.error == right.error, f"error differs{suffix}"
+    assert left.converged == right.converged, f"converged differs{suffix}"
+    left_trace = [(p.transmissions, p.ticks, p.error) for p in left.trace.points]
+    right_trace = [
+        (p.transmissions, p.ticks, p.error) for p in right.trace.points
+    ]
+    assert left_trace == right_trace, f"trace points differ{suffix}"
+
+
+def run_engine(
+    case: ProtocolCase,
+    seed: int,
+    check_stride: int,
+    block_size: int | None = None,
+) -> GossipRunResult:
+    """One engine run of ``case`` from the shared field, fresh instance."""
+    kwargs = {} if block_size is None else {"block_size": block_size}
+    return run_batched(
+        case.factory(),
+        initial_values(),
+        case.epsilon,
+        spawn_rng(seed, "golden", case.name),
+        check_stride=check_stride,
+        **kwargs,
+    )
+
+
+def assert_stride1_bit_identical(case: ProtocolCase, seed: int = 7) -> None:
+    """Contract 1: the stride-1 engine path is the legacy loop, bit for bit."""
+    legacy = case.factory().run(
+        initial_values(), case.epsilon, spawn_rng(seed, "golden", case.name)
+    )
+    engine = run_engine(case, seed, check_stride=1)
+    assert_results_identical(legacy, engine, f"{case.name}, stride 1 vs legacy")
+
+
+def assert_block_size_invariant(
+    case: ProtocolCase,
+    seed: int = 7,
+    check_stride: int = 4,
+    block_sizes: tuple[int, ...] = (1, 7, 8192),
+) -> None:
+    """Contract 2: stride-k results depend only on (seed, stride)."""
+    reference = run_engine(case, seed, check_stride, block_sizes[0])
+    for block_size in block_sizes[1:]:
+        other = run_engine(case, seed, check_stride, block_size)
+        assert_results_identical(
+            reference,
+            other,
+            f"{case.name}, stride {check_stride}, "
+            f"block {block_sizes[0]} vs {block_size}",
+        )
+
+
+def assert_strided_deterministic(
+    case: ProtocolCase, seed: int = 7, check_stride: int = 4
+) -> None:
+    """Same (seed, stride) twice — fresh instances — identical results."""
+    first = run_engine(case, seed, check_stride)
+    second = run_engine(case, seed, check_stride)
+    assert_results_identical(
+        first, second, f"{case.name}, stride {check_stride}, repeat run"
+    )

@@ -1,13 +1,36 @@
 """Unit tests for repro.engine.batching (batched tick execution)."""
 
+import warnings
+
 import numpy as np
 import pytest
 
-from repro.engine.batching import run_batched, split_streams
-from repro.experiments.config import make_algorithm
+from repro.engine.batching import (
+    ScalarFallbackWarning,
+    batching_capability,
+    run_batched,
+    split_streams,
+)
+from repro.experiments.config import make_algorithm, protocol_batching
 from repro.experiments.seeds import spawn_rng
+from repro.gossip.base import AsynchronousGossip
+from repro.gossip.hierarchical.rounds import HierarchicalGossip
 from repro.graphs.rgg import RandomGeometricGraph
 from repro.routing.cost import TransmissionCounter
+
+
+class ScalarOnlyGossip(AsynchronousGossip):
+    """A protocol that never overrode tick_block (the fallback path)."""
+
+    name = "scalar-only"
+
+    def tick(self, node, values, counter, rng):
+        partner = int(rng.integers(self.n - 1))
+        partner = partner + 1 if partner >= node else partner
+        average = 0.5 * (values[node] + values[partner])
+        values[node] = average
+        values[partner] = average
+        counter.charge(2, "near")
 
 
 @pytest.fixture(scope="module")
@@ -185,7 +208,7 @@ class TestTickBlockHooks:
     def test_default_tick_block_matches_scalar_ticks(self, instance):
         """The base-class hook is literally the scalar loop."""
         graph, values = instance
-        algorithm = make_algorithm("geographic", graph)
+        algorithm = ScalarOnlyGossip(graph.n)
         owners = spawn_rng(3, "owners").integers(graph.n, size=50)
 
         block_values = values.copy()
@@ -240,3 +263,65 @@ class TestTickBlockHooks:
 
         np.testing.assert_array_equal(whole, chunked)
         assert whole_counter.snapshot() == chunked_counter.snapshot()
+
+
+class TestBatchingCapability:
+    def test_classification(self, instance):
+        graph, _ = instance
+        assert batching_capability(ScalarOnlyGossip) == "scalar"
+        assert batching_capability(ScalarOnlyGossip(graph.n)) == "scalar"
+        assert batching_capability(make_algorithm("randomized", graph)) == "block"
+        assert batching_capability(HierarchicalGossip) == "rounds"
+
+    def test_registry_map(self):
+        assert protocol_batching(
+            ("randomized", "geographic", "spatial", "hierarchical")
+        ) == {
+            "randomized": "block",
+            "geographic": "block",
+            "spatial": "block",
+            "hierarchical": "rounds",
+        }
+
+    def test_registry_map_rejects_unknown_names(self):
+        with pytest.raises(ValueError):
+            protocol_batching(("randomized", "no-such-protocol"))
+
+
+class TestScalarFallbackWarning:
+    def test_strided_run_without_override_warns(self, instance):
+        graph, values = instance
+        with pytest.warns(ScalarFallbackWarning, match="scalar-only"):
+            result = run_batched(
+                ScalarOnlyGossip(graph.n),
+                values,
+                0.25,
+                spawn_rng(7, "run"),
+                check_stride=4,
+            )
+        assert result.converged  # the fallback still runs correctly
+
+    def test_stride_one_never_warns(self, instance):
+        graph, values = instance
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ScalarFallbackWarning)
+            run_batched(
+                ScalarOnlyGossip(graph.n),
+                values,
+                0.25,
+                spawn_rng(7, "run"),
+                check_stride=1,
+            )
+
+    def test_block_protocols_never_warn(self, instance):
+        graph, values = instance
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ScalarFallbackWarning)
+            for name in ("randomized", "geographic", "spatial"):
+                run_batched(
+                    make_algorithm(name, graph),
+                    values,
+                    0.3,
+                    spawn_rng(7, "run", name),
+                    check_stride=4,
+                )

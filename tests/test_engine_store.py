@@ -98,6 +98,58 @@ class TestResultStore:
         assert plain.directory != strided.directory
 
 
+class TestBatchingCapabilityGuard:
+    def _drift_recorded_batching(self, store):
+        payload = json.loads(store.config_path.read_text())
+        payload["batching"]["randomized"] = "scalar"  # an older engine
+        store.config_path.write_text(json.dumps(payload))
+
+    def test_capability_recorded_in_descriptor(self, tmp_path, config):
+        store = ResultStore(tmp_path, config, check_stride=8).open()
+        assert store.recorded_batching() == {"randomized": "block"}
+        assert json.loads(store.config_path.read_text())["batching"] == {
+            "randomized": "block"
+        }
+
+    def test_strided_store_refuses_capability_drift(self, tmp_path, config):
+        """Scalar-path and block-path cells must never mix in one store."""
+        store = ResultStore(tmp_path, config, check_stride=8).open()
+        store.append(_fake_record(config))
+        self._drift_recorded_batching(store)
+        with pytest.raises(ValueError, match="batching"):
+            ResultStore(tmp_path, config, check_stride=8).open()
+        with pytest.raises(ValueError, match="batching"):
+            run_sweep_records(
+                config,
+                check_stride=8,
+                store=ResultStore(tmp_path, config, check_stride=8),
+            )
+
+    def test_stride_one_store_tolerates_drift(self, tmp_path, config):
+        """At stride 1 every protocol runs the same legacy loop."""
+        store = ResultStore(tmp_path, config, check_stride=1).open()
+        self._drift_recorded_batching(store)
+        ResultStore(tmp_path, config, check_stride=1).open()
+
+    def test_legacy_store_without_capability_is_tolerated(
+        self, tmp_path, config
+    ):
+        store = ResultStore(tmp_path, config, check_stride=8).open()
+        payload = json.loads(store.config_path.read_text())
+        del payload["batching"]
+        store.config_path.write_text(json.dumps(payload))
+        reopened = ResultStore(tmp_path, config, check_stride=8).open()
+        assert reopened.recorded_batching() is None
+
+    def test_reset_clears_a_drifted_store(self, tmp_path, config):
+        store = ResultStore(tmp_path, config, check_stride=8).open()
+        store.append(_fake_record(config))
+        self._drift_recorded_batching(store)
+        fresh = ResultStore(tmp_path, config, check_stride=8).reset()
+        assert len(fresh) == 0
+        assert fresh.recorded_batching() == {"randomized": "block"}
+
+
 class TestResume:
     def test_stored_cells_are_not_recomputed(self, tmp_path, config):
         """A sentinel record survives the sweep untouched => cell skipped."""

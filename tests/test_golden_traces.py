@@ -1,0 +1,46 @@
+"""Golden-trace equivalence suite: every protocol × the engine contracts.
+
+Parametrized over the shared registry in ``protocol_equivalence.py``:
+
+* stride-1 runs are bit-identical to the legacy scalar loop;
+* stride-k runs are a pure function of ``(seed, stride)`` — invariant to
+  the engine's internal block chunking and reproducible across fresh
+  protocol instances.
+
+A new protocol only needs a ``ProtocolCase`` entry in the registry to be
+covered by the whole battery.
+"""
+
+import pytest
+
+from protocol_equivalence import (
+    CASES,
+    assert_block_size_invariant,
+    assert_stride1_bit_identical,
+    assert_strided_deterministic,
+    case_names,
+)
+
+
+@pytest.mark.parametrize("name", case_names())
+def test_stride1_bit_identical_to_legacy_loop(name):
+    assert_stride1_bit_identical(CASES[name])
+
+
+@pytest.mark.parametrize("name", case_names(tick_driven=True))
+def test_block_size_invariance(name):
+    assert_block_size_invariant(CASES[name])
+
+
+@pytest.mark.parametrize("name", case_names(tick_driven=True))
+@pytest.mark.parametrize("check_stride", [2, 8])
+def test_strided_runs_deterministic(name, check_stride):
+    assert_strided_deterministic(CASES[name], check_stride=check_stride)
+
+
+def test_registry_covers_every_registered_algorithm():
+    """The sweep registry's protocols all appear in the golden registry."""
+    from repro.experiments.config import ALGORITHM_CLASSES
+
+    covered = {type(case.factory()) for case in CASES.values()}
+    assert set(ALGORITHM_CLASSES.values()) <= covered
