@@ -39,6 +39,11 @@ from repro.experiments import (
     run_scaling_sweep,
     spawn_rng,
 )
+from repro.graphs.generators import (
+    build_topology,
+    topology_names,
+    topology_seed_tags,
+)
 from repro.graphs.rgg import RandomGeometricGraph
 from repro.hierarchy.tree import HierarchyTree
 from repro.viz import render_field, render_hierarchy
@@ -76,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--n", type=int, default=512)
     run.add_argument("--epsilon", type=float, default=0.2)
     run.add_argument(
+        "--topology",
+        choices=topology_names(),
+        default="rgg",
+        help="graph family from the topology zoo (default: flat RGG)",
+    )
+    run.add_argument(
         "--field", choices=sorted(FIELD_GENERATORS), default="random"
     )
     run.add_argument("--seed", type=int, default=20070801)
@@ -93,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--sizes", default="128,256,512")
     sweep.add_argument("--epsilon", type=float, default=0.2)
     sweep.add_argument("--trials", type=int, default=2)
+    sweep.add_argument(
+        "--topology",
+        choices=topology_names(),
+        default="rgg",
+        help="graph family from the topology zoo (default: flat RGG)",
+    )
     sweep.add_argument(
         "--field", choices=sorted(FIELD_GENERATORS), default="gradient"
     )
@@ -132,8 +149,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    rng = spawn_rng(args.seed, "cli-graph", args.n)
-    graph = RandomGeometricGraph.sample_connected(args.n, rng)
+    graph = build_topology(
+        args.topology,
+        args.n,
+        spawn_rng(
+            args.seed, "cli-graph", *topology_seed_tags(args.topology, args.n)
+        ),
+    )
     field_rng = spawn_rng(args.seed, "cli-field", args.field)
     values = FIELD_GENERATORS[args.field](graph.positions, field_rng)
     if args.show_field:
@@ -152,6 +174,7 @@ def _command_run(args: argparse.Namespace) -> int:
             ["metric", "value"],
             [
                 ["algorithm", args.algorithm],
+                ["topology", args.topology],
                 ["n", args.n],
                 ["converged", result.converged],
                 ["final error", result.error],
@@ -181,6 +204,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         field=args.field,
         root_seed=args.seed,
         algorithms=algorithms,
+        topology=args.topology,
     )
     store = None
     if args.store_dir is not None:
@@ -212,7 +236,10 @@ def _command_sweep(args: argparse.Namespace) -> int:
         format_table(
             ["n", *algorithms],
             rows,
-            title=f"mean transmissions to ε={args.epsilon} ({args.trials} trials)",
+            title=(
+                f"mean transmissions to ε={args.epsilon} on "
+                f"'{args.topology}' ({args.trials} trials)"
+            ),
         )
     )
     if len(sizes) >= 2:

@@ -27,6 +27,7 @@ benchmarks route through them, so every experiment inherits the engine.
 from repro.engine.batching import (
     DEFAULT_BLOCK_SIZE,
     ScalarFallbackWarning,
+    UncenteredFieldWarning,
     batching_capability,
     run_batched,
     split_streams,
@@ -47,6 +48,7 @@ __all__ = [
     "ResultStore",
     "ScalarFallbackWarning",
     "SweepCell",
+    "UncenteredFieldWarning",
     "batching_capability",
     "build_instance",
     "content_key",

@@ -44,6 +44,7 @@ from repro.routing.cost import TransmissionCounter
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "ScalarFallbackWarning",
+    "UncenteredFieldWarning",
     "batching_capability",
     "run_batched",
     "split_streams",
@@ -63,7 +64,53 @@ class ScalarFallbackWarning(UserWarning):
     the protocol's own per-tick randomness still runs one scalar RNG call
     at a time.  The run is correct; it is just not getting the fast path
     the stride suggests it should.
+
+    The warning message points at ``docs/batching.md`` (the batching
+    contract and how to write a ``tick_block`` override) and at
+    :func:`repro.experiments.config.protocol_batching`, which reports the
+    capability (``"block"`` / ``"scalar"`` / ``"rounds"``) of every
+    registered protocol without running anything.
     """
+
+
+class UncenteredFieldWarning(UserWarning):
+    """A mean-sensitive protocol was handed an uncentred initial field.
+
+    Protocols that declare ``requires_centered_field = True`` (the
+    Lemma-1 affine dynamics) only converge on the mean-zero subspace —
+    the paper's WLOG ``x̄(0) = 0``.  On an uncentred field the run stalls
+    at a deviation floor and burns its whole tick budget.  Centre the
+    field first (``values - values.mean()``), as
+    ``benchmarks/bench_e09_path_averaging.py`` does.
+    """
+
+
+def _warn_if_uncentered(
+    algorithm, initial_values: np.ndarray, epsilon: float
+) -> None:
+    """Emit :class:`UncenteredFieldWarning` when the run looks futile.
+
+    The deviation floor the offset leakage sustains scales with the
+    ratio ``‖offset·1‖ / ‖deviation‖`` (a protocol-dependent constant
+    factor away), so only an offset within an order of magnitude of the
+    ε target predicts a stall — tiny incidental means (every float field
+    has one) converge fine and must not warn.
+    """
+    if not getattr(algorithm, "requires_centered_field", False):
+        return
+    deviation = float(np.linalg.norm(initial_values - initial_values.mean()))
+    offset = abs(float(initial_values.mean())) * np.sqrt(len(initial_values))
+    if offset > 0.1 * epsilon * max(deviation, 1e-300):
+        warnings.warn(
+            f"{algorithm.name!r} assumes a mean-zero field (the paper's "
+            f"WLOG x̄(0) = 0) but the initial values have mean "
+            f"{float(initial_values.mean()):.3g}, large relative to the "
+            f"eps={epsilon} target; the run is likely to stall at a "
+            "deviation floor instead of converging — centre the field "
+            "first (values - values.mean())",
+            UncenteredFieldWarning,
+            stacklevel=3,
+        )
 
 
 def batching_capability(algorithm: AsynchronousGossip | type) -> str:
@@ -76,6 +123,13 @@ def batching_capability(algorithm: AsynchronousGossip | type) -> str:
       inside each block (the base-class hook).
     * ``"rounds"`` — not tick-driven at all (e.g. the hierarchical
       executor); the engine passes it through to its native ``run``.
+
+    >>> from repro.gossip.randomized import RandomizedGossip
+    >>> batching_capability(RandomizedGossip)
+    'block'
+    >>> from repro.gossip.hierarchical.rounds import HierarchicalGossip
+    >>> batching_capability(HierarchicalGossip)
+    'rounds'
     """
     cls = algorithm if isinstance(algorithm, type) else type(algorithm)
     if not issubclass(cls, AsynchronousGossip):
@@ -139,6 +193,10 @@ def run_batched(
         raise ValueError(f"check_stride must be >= 1, got {check_stride}")
     if block_size < 1:
         raise ValueError(f"block_size must be >= 1, got {block_size}")
+    if epsilon > 0:
+        _warn_if_uncentered(
+            algorithm, np.asarray(initial_values, dtype=np.float64), epsilon
+        )
     if not isinstance(algorithm, AsynchronousGossip):
         # Round-based protocols (e.g. the hierarchical executor) have no
         # global tick loop to batch or stride; they run their native
@@ -161,7 +219,11 @@ def run_batched(
             f"{algorithm.name!r} does not override tick_block: "
             f"check_stride={check_stride} amortizes owner sampling and "
             "error checks, but the protocol's per-tick randomness still "
-            "runs scalar — implement tick_block for the full fast path",
+            "runs scalar — implement tick_block for the full fast path. "
+            "See docs/batching.md for the tick_block contract and the "
+            "protocol batching matrix; "
+            "repro.experiments.config.protocol_batching reports every "
+            "registered protocol's capability",
             ScalarFallbackWarning,
             stacklevel=2,
         )

@@ -24,7 +24,6 @@ from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.engine.batching import run_batched
-from repro.graphs.rgg import RandomGeometricGraph
 from repro.workloads.fields import FIELD_GENERATORS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a layer cycle
@@ -109,18 +108,29 @@ class CellRecord:
 def build_instance(config: ExperimentConfig, n: int, trial: int):
     """Placement, graph and field shared by all algorithms of one trial.
 
-    Seed tags match the historical serial runner exactly, so instances are
-    stable across engine versions and identical for every algorithm cell
-    of the same ``(n, trial)``.
+    The graph comes from the config's topology family
+    (:data:`repro.graphs.generators.TOPOLOGIES`).  For the default
+    ``"rgg"`` the seed tags match the historical serial runner exactly,
+    so flat-RGG instances are stable across engine versions and identical
+    for every algorithm cell of the same ``(n, trial)``; other families
+    include the topology name in their graph-seed tag so no two families
+    ever share a placement stream.
     """
     # Imported here, not at module top: repro.experiments sits above the
     # engine (its runner imports this package), so the engine only reaches
     # up at call time.
     from repro.experiments.seeds import spawn_rng
+    from repro.graphs.generators import build_topology, topology_seed_tags
 
-    graph_rng = spawn_rng(config.root_seed, "graph", n, trial)
-    graph = RandomGeometricGraph.sample_connected(
-        n, graph_rng, radius_constant=config.radius_constant
+    # topology_seed_tags keeps the pre-zoo tag shape for the default
+    # family so historical instances reproduce bit for bit;
+    # build_topology's "rgg" builder consumes the stream exactly as
+    # sample_connected did.
+    graph_rng = spawn_rng(
+        config.root_seed, "graph", *topology_seed_tags(config.topology, n, trial)
+    )
+    graph = build_topology(
+        config.topology, n, graph_rng, radius_constant=config.radius_constant
     )
     field_rng = spawn_rng(config.root_seed, "field", config.field, n, trial)
     values = FIELD_GENERATORS[config.field](graph.positions, field_rng)

@@ -52,7 +52,7 @@ STORE_FORMAT = 1
 
 
 def _config_payload(config: ExperimentConfig, check_stride: int) -> dict:
-    return {
+    payload = {
         "format": STORE_FORMAT,
         "sizes": list(config.sizes),
         "epsilon": config.epsilon,
@@ -63,6 +63,15 @@ def _config_payload(config: ExperimentConfig, check_stride: int) -> dict:
         "algorithms": list(config.algorithms),
         "check_stride": check_stride,
     }
+    # The default topology is omitted (one shared rule with the seed
+    # tags: graphs.generators.topology_seed_tags) so that stores written
+    # before the topology zoo existed keep their content keys and stay
+    # resumable; any other family keys a fresh directory.
+    from repro.graphs.generators import DEFAULT_TOPOLOGY
+
+    if config.topology != DEFAULT_TOPOLOGY:
+        payload["topology"] = config.topology
+    return payload
 
 
 def content_key(config: ExperimentConfig, check_stride: int = 1) -> str:

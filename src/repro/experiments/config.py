@@ -11,10 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
+from repro.gossip.affine import AffineGossipKn, sample_alphas
 from repro.gossip.geographic import GeographicGossip
 from repro.gossip.hierarchical.rounds import HierarchicalGossip
+from repro.gossip.path_averaging import PathAveragingGossip
 from repro.gossip.randomized import RandomizedGossip
 from repro.gossip.spatial import SpatialGossip
+from repro.graphs.generators import TOPOLOGIES, topology_names
 from repro.graphs.rgg import RandomGeometricGraph
 
 __all__ = [
@@ -42,6 +47,22 @@ def _make_spatial(graph: RandomGeometricGraph):
     return SpatialGossip(graph, rho=2.0)
 
 
+def _make_path_averaging(graph: RandomGeometricGraph):
+    return PathAveragingGossip(graph)
+
+
+#: Fixed seed for the affine comparator's coefficients: the registry
+#: factory has no RNG argument, so α_i are a deterministic function of n
+#: (same coefficients for every trial of a size — a controlled comparator,
+#: not a random one).
+_AFFINE_ALPHA_SEED = 1859  # Lemma 1's (1/3, 1/2) interval, fixed draw
+
+
+def _make_affine(graph: RandomGeometricGraph):
+    alphas = sample_alphas(graph.n, np.random.default_rng(_AFFINE_ALPHA_SEED))
+    return AffineGossipKn(graph.n, alphas=alphas)
+
+
 #: The single registry row per protocol: implementing class + factory.
 #: ALGORITHMS and ALGORITHM_CLASSES are both derived from this table so
 #: they can never drift apart (a name in one is always in the other).
@@ -50,10 +71,14 @@ _REGISTRY: dict[str, tuple[type, Callable[[RandomGeometricGraph], object]]] = {
     "geographic": (GeographicGossip, _make_geographic),
     "hierarchical": (HierarchicalGossip, _make_hierarchical),
     "spatial": (SpatialGossip, _make_spatial),
+    "path-averaging": (PathAveragingGossip, _make_path_averaging),
+    "affine": (AffineGossipKn, _make_affine),
 }
 
-#: name → factory(graph); the paper's three contenders plus the spatial
-#: gossip baseline of its related work (E15).
+#: name → factory(graph); the paper's three contenders plus the related
+#: work: spatial gossip (E15), randomized path averaging (E9-PA), and the
+#: Lemma-1 affine dynamics on K_n as the idealised complete-graph
+#: comparator (its exchanges ignore the graph and cost 2 transmissions).
 ALGORITHMS: dict[str, Callable[[RandomGeometricGraph], object]] = {
     name: factory for name, (_, factory) in _REGISTRY.items()
 }
@@ -122,6 +147,11 @@ class ExperimentConfig:
         Root of all derived randomness.
     algorithms:
         Names from :data:`ALGORITHMS` to include.
+    topology:
+        Graph family from :data:`repro.graphs.generators.TOPOLOGIES`;
+        every sweep cell builds its instance from this family.  The
+        default ``"rgg"`` reproduces the historical flat-RGG sweeps (and
+        their seed streams) bit for bit.
     """
 
     sizes: tuple[int, ...] = (128, 256, 512, 1024)
@@ -131,6 +161,7 @@ class ExperimentConfig:
     field: str = "random"
     root_seed: int = 20070801  # PODC 2007
     algorithms: tuple[str, ...] = ("randomized", "geographic", "hierarchical")
+    topology: str = "rgg"
 
     def __post_init__(self) -> None:
         if not self.sizes:
@@ -144,3 +175,8 @@ class ExperimentConfig:
         unknown = set(self.algorithms) - set(ALGORITHMS)
         if unknown:
             raise ValueError(f"unknown algorithms: {sorted(unknown)}")
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; registered: "
+                f"{topology_names()}"
+            )

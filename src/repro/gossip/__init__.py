@@ -1,6 +1,7 @@
 """Gossip averaging algorithms.
 
-Three families, matching the paper's narrative:
+The protocol family, following the routed-gossip lineage the paper sits
+in (see the protocol × topology matrix in the README):
 
 * :class:`~repro.gossip.randomized.RandomizedGossip` — Boyd et al. (2005):
   convex averaging with a uniform random neighbour; ``Õ(n²)`` transmissions
@@ -8,12 +9,17 @@ Three families, matching the paper's narrative:
 * :class:`~repro.gossip.geographic.GeographicGossip` — Dimakis et al.
   (2006): convex averaging with a routed, nearly uniform random node;
   ``Õ(n^1.5)`` transmissions.
+* :class:`~repro.gossip.spatial.SpatialGossip` — Kempe–Kleinberg–Demers
+  distance-biased targets, the interpolation baseline.
+* :class:`~repro.gossip.path_averaging.PathAveragingGossip` — Bénézit et
+  al. (2008): the routed walk averages *every node on the route*, giving
+  order-optimal ``Õ(n)`` transmissions.
 * the paper's contribution — hierarchical gossip with *affine* updates
   (:mod:`repro.gossip.hierarchical`), ``n^{1+o(1)}`` transmissions; its
   complete-graph core dynamics (Lemma 1/2) live in
   :mod:`repro.gossip.affine`.
 
-All algorithms run under the same asynchronous-clock driver
+All tick-driven algorithms run under the same asynchronous-clock driver
 (:class:`~repro.gossip.base.AsynchronousGossip`) and produce the same
 :class:`~repro.gossip.base.GossipRunResult`.
 """
@@ -26,6 +32,7 @@ from repro.gossip.affine import (
 )
 from repro.gossip.base import AsynchronousGossip, GossipRunResult
 from repro.gossip.geographic import GeographicGossip
+from repro.gossip.path_averaging import PathAveragingGossip
 from repro.gossip.randomized import RandomizedGossip
 from repro.gossip.spatial import SpatialGossip
 from repro.gossip.tree_aggregation import (
@@ -39,6 +46,7 @@ __all__ = [
     "AsynchronousGossip",
     "GeographicGossip",
     "GossipRunResult",
+    "PathAveragingGossip",
     "PerturbedAffineGossipKn",
     "RandomizedGossip",
     "SpatialGossip",

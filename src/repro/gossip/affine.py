@@ -73,6 +73,13 @@ class AffineGossipKn(AsynchronousGossip):
 
     name = "affine-kn"
 
+    #: Lemma 1's contraction is a statement about the mean-zero subspace
+    #: (the paper's WLOG ``x̄(0) = 0``): the cross-weighted update does
+    #: not preserve a constant offset pointwise, so an uncentred field
+    #: stalls at a deviation floor instead of converging.  The engine
+    #: warns when such a field is handed to this protocol.
+    requires_centered_field = True
+
     def __init__(
         self,
         n: int,

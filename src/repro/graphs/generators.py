@@ -1,24 +1,77 @@
-"""Reference (non-geometric) topologies.
+"""The topology zoo: graph families every protocol can run on.
 
-The mixing-time experiment (E12) contrasts the RGG spectral gap against
-classical topologies whose gossip behaviour is known in closed form:
-the complete graph (``T_mix = O(1)``, the regime geographic gossip emulates),
-the ring and 2-D grid (slow mixing), and Erdős–Rényi graphs.
+Two layers live here:
 
-All generators return neighbour-array lists in the same format as
-:class:`~repro.graphs.rgg.RandomGeometricGraph.neighbors` so every gossip
-algorithm in :mod:`repro.gossip` runs on them unchanged.
+* **Adjacency generators** (the historical API) return neighbour-array
+  lists in the same format as
+  :class:`~repro.graphs.rgg.RandomGeometricGraph.neighbors`; the
+  mixing-time experiment (E12) uses them to contrast the RGG spectral
+  gap against classical topologies with closed-form gossip behaviour.
+* **Positioned topology builders** return full
+  :class:`~repro.graphs.rgg.RandomGeometricGraph` substrates — positions
+  plus adjacency plus a spatial index — so the *routed* protocols
+  (geographic, spatial, path averaging, hierarchical) run on them
+  unchanged.  :data:`TOPOLOGIES` is the registry the sweep config names:
+  ``ExperimentConfig(topology="grid2d")`` makes every sweep cell run on
+  that family, and :func:`build_topology` is the one entry point.
+
+Registered families (see ``docs/topologies`` in the rendered docs and the
+protocol × topology matrix in the README):
+
+``rgg``
+    The paper's ``G(n, r)`` on the unit square (the default).
+``torus-rgg``
+    ``G(n, r)`` under wrap-around (torus) distance: the same local
+    geometry with the boundary effects removed.  Greedy routing still
+    uses flat Euclidean distance, so routes never wrap — the torus edges
+    only *add* connectivity.
+``grid2d``
+    A near-square 4-connected lattice with lattice-point positions; the
+    deterministic slow-mixing baseline.
+``smallworld``
+    Watts–Strogatz: a ring lattice (positions on a circle) with each
+    edge rewired with probability ``beta`` — the classical small-world
+    interpolation.
+``erdos-renyi``
+    ``G(n, p)`` at the connectivity scaling ``p = 2 ln n / n``, with
+    uniform random positions attached (edges ignore geometry entirely,
+    the adversarial case for greedy routing).
+
+Greedy delivery is only *guaranteed* on the geometric families; on
+``smallworld`` and ``erdos-renyi`` routed protocols abort void routes and
+count them in ``failed_exchanges``, conserving the global sum.
+
+>>> import numpy as np
+>>> graph = build_topology("grid2d", 12, np.random.default_rng(0))
+>>> graph.n, int(graph.degrees().max())
+(12, 4)
 """
 
 from __future__ import annotations
 
+import math
+from typing import Callable
+
 import numpy as np
+
+from repro.graphs.cellgrid import CellGrid
+from repro.graphs.connectivity import is_connected
+from repro.graphs.rgg import RandomGeometricGraph, connectivity_radius
 
 __all__ = [
     "complete_graph_adjacency",
     "ring_graph_adjacency",
     "grid_graph_adjacency",
     "erdos_renyi_adjacency",
+    "torus_rgg_graph",
+    "grid2d_graph",
+    "watts_strogatz_graph",
+    "erdos_renyi_graph",
+    "TOPOLOGIES",
+    "DEFAULT_TOPOLOGY",
+    "topology_seed_tags",
+    "topology_names",
+    "build_topology",
 ]
 
 
@@ -71,3 +124,286 @@ def erdos_renyi_adjacency(
     upper = np.triu(rng.random((n, n)) < p, k=1)
     adjacency = upper | upper.T
     return [np.nonzero(adjacency[i])[0].astype(np.int64) for i in range(n)]
+
+
+# -- positioned topology builders -------------------------------------------
+
+
+def _positioned_graph(
+    positions: np.ndarray, neighbors: list[np.ndarray], radius: float
+) -> RandomGeometricGraph:
+    """Assemble a :class:`RandomGeometricGraph` from explicit adjacency.
+
+    ``radius`` is the family's nominal length scale: it sizes the spatial
+    index (nearest-node queries) and feeds
+    :meth:`~repro.routing.greedy.GreedyRouter.expected_hops`; it does
+    *not* re-derive the adjacency, which is taken as given.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    return RandomGeometricGraph(
+        positions=positions,
+        radius=radius,
+        neighbors=neighbors,
+        grid=CellGrid(positions, cell_side=radius),
+    )
+
+
+def torus_rgg_graph(
+    n: int,
+    rng: np.random.Generator,
+    radius: float | None = None,
+    radius_constant: float = 2.0,
+) -> RandomGeometricGraph:
+    """``G(n, r)`` on the unit *torus*: edges by wrap-around distance.
+
+    Node positions stay in the unit square (greedy routing keeps flat
+    Euclidean geometry), but any pair within torus distance ``r`` is
+    adjacent — boundary nodes gain the neighbours the square's edge
+    denied them, so degrees concentrate tighter than on the flat RGG.
+    """
+    if radius is None:
+        radius = connectivity_radius(n, radius_constant)
+    positions = rng.random((n, 2))
+    # Torus distance ≤ flat distance, so the flat G(n, r) — built in
+    # expected linear time via the cell grid — is a subgraph; the only
+    # extra edges involve two nodes both within r of the square's
+    # boundary (an O(n·r) = O(√(n log n)) strip), so the wrap pass stays
+    # a small dense problem instead of an O(n²) one.
+    flat = RandomGeometricGraph.build(positions, radius)
+    x, y = positions[:, 0], positions[:, 1]
+    strip = np.nonzero(
+        (x < radius) | (x > 1.0 - radius) | (y < radius) | (y > 1.0 - radius)
+    )[0]
+    extra: dict[int, list[int]] = {}
+    if strip.size >= 2:
+        pts = positions[strip]
+        dx = np.abs(pts[:, 0][:, None] - pts[:, 0][None, :])
+        dy = np.abs(pts[:, 1][:, None] - pts[:, 1][None, :])
+        flat_sq = dx * dx + dy * dy
+        dx = np.minimum(dx, 1.0 - dx)
+        dy = np.minimum(dy, 1.0 - dy)
+        torus_sq = dx * dx + dy * dy
+        wrap_only = (torus_sq <= radius * radius) & (
+            flat_sq > radius * radius
+        )
+        for a, b in zip(*np.nonzero(np.triu(wrap_only, k=1))):
+            i, j = int(strip[a]), int(strip[b])
+            extra.setdefault(i, []).append(j)
+            extra.setdefault(j, []).append(i)
+    neighbors = [
+        np.array(
+            sorted(flat.neighbors[i].tolist() + extra[i]), dtype=np.int64
+        )
+        if i in extra
+        else flat.neighbors[i]
+        for i in range(n)
+    ]
+    return _positioned_graph(positions, neighbors, radius)
+
+
+def grid2d_graph(n: int, rng: np.random.Generator | None = None) -> RandomGeometricGraph:
+    """A near-square 4-connected lattice with lattice-point positions.
+
+    ``n`` is factored as ``rows × cols`` with ``rows`` the largest
+    divisor of ``n`` not exceeding ``√n`` (a prime ``n`` degenerates to a
+    path).  Positions are cell centres of the ``rows × cols`` tiling of
+    the unit square, so greedy routing is exact on this family.  ``rng``
+    is accepted for registry uniformity and never consumed.
+    """
+    if n < 2:
+        raise ValueError(f"need at least two nodes, got {n}")
+    rows = 1
+    for divisor in range(1, int(math.isqrt(n)) + 1):
+        if n % divisor == 0:
+            rows = divisor
+    cols = n // rows
+    neighbors = grid_graph_adjacency(rows, cols)
+    r_index, c_index = np.divmod(np.arange(n), cols)
+    positions = np.column_stack(
+        [(c_index + 0.5) / cols, (r_index + 0.5) / rows]
+    ).astype(np.float64)
+    spacing = max(1.0 / cols, 1.0 / rows)
+    return _positioned_graph(positions, neighbors, 1.05 * spacing)
+
+
+def watts_strogatz_graph(
+    n: int,
+    rng: np.random.Generator,
+    k: int = 6,
+    beta: float = 0.1,
+) -> RandomGeometricGraph:
+    """Watts–Strogatz small world on a circle of positions.
+
+    Start from a ring lattice where every node connects to its ``k``
+    nearest ring neighbours (``k`` even), then rewire each clockwise
+    edge independently with probability ``beta`` to a uniform random
+    non-neighbour — the standard construction.  Positions sit on a
+    circle of radius 0.45 centred in the unit square, so greedy routing
+    follows the ring through the lattice edges and opportunistically
+    jumps rewired chords.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError(f"k must be a positive even integer, got {k}")
+    if n <= k:
+        raise ValueError(f"need n > k, got n={n}, k={k}")
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError(f"rewiring probability must lie in [0, 1], got {beta}")
+    adjacency: list[set[int]] = [set() for _ in range(n)]
+    for i in range(n):
+        for j in range(1, k // 2 + 1):
+            adjacency[i].add((i + j) % n)
+            adjacency[(i + j) % n].add(i)
+    for i in range(n):
+        for j in range(1, k // 2 + 1):
+            neighbor = (i + j) % n
+            if rng.random() >= beta or neighbor not in adjacency[i]:
+                continue
+            candidates = [
+                w for w in range(n) if w != i and w not in adjacency[i]
+            ]
+            if not candidates:
+                continue
+            new = candidates[int(rng.integers(len(candidates)))]
+            adjacency[i].discard(neighbor)
+            adjacency[neighbor].discard(i)
+            adjacency[i].add(new)
+            adjacency[new].add(i)
+    neighbors = [
+        np.array(sorted(adj), dtype=np.int64) for adj in adjacency
+    ]
+    theta = 2.0 * np.pi * np.arange(n) / n
+    positions = np.column_stack(
+        [0.5 + 0.45 * np.cos(theta), 0.5 + 0.45 * np.sin(theta)]
+    )
+    # Nominal scale: the chord spanned by the farthest lattice neighbour.
+    chord = 2.0 * 0.45 * math.sin(math.pi * (k // 2) / n)
+    return _positioned_graph(positions, neighbors, max(1.05 * chord, 1e-6))
+
+
+def erdos_renyi_graph(
+    n: int,
+    rng: np.random.Generator,
+    p: float | None = None,
+) -> RandomGeometricGraph:
+    """``G(n, p)`` with uniform random positions attached.
+
+    ``p`` defaults to the connectivity scaling ``2 ln n / n``.  Edges are
+    independent of the geometry, which makes this the adversarial family
+    for greedy routing: routed protocols see frequent voids, abort those
+    operations, and still conserve the sum.
+    """
+    if n < 2:
+        raise ValueError(f"need at least two nodes, got {n}")
+    if p is None:
+        p = min(1.0, 2.0 * math.log(n) / n)
+    positions = rng.random((n, 2))
+    neighbors = erdos_renyi_adjacency(n, p, rng)
+    return _positioned_graph(positions, neighbors, connectivity_radius(n))
+
+
+def _build_rgg(
+    n: int, rng: np.random.Generator, radius_constant: float
+) -> RandomGeometricGraph:
+    return RandomGeometricGraph.sample(n, rng, radius_constant=radius_constant)
+
+
+def _build_torus(
+    n: int, rng: np.random.Generator, radius_constant: float
+) -> RandomGeometricGraph:
+    return torus_rgg_graph(n, rng, radius_constant=radius_constant)
+
+
+def _build_grid2d(
+    n: int, rng: np.random.Generator, radius_constant: float
+) -> RandomGeometricGraph:
+    return grid2d_graph(n, rng)
+
+
+def _build_smallworld(
+    n: int, rng: np.random.Generator, radius_constant: float
+) -> RandomGeometricGraph:
+    return watts_strogatz_graph(n, rng)
+
+
+def _build_erdos_renyi(
+    n: int, rng: np.random.Generator, radius_constant: float
+) -> RandomGeometricGraph:
+    return erdos_renyi_graph(n, rng)
+
+
+#: The topology registry: family name → builder ``(n, rng, radius_constant)
+#: → RandomGeometricGraph``.  :class:`~repro.experiments.config.ExperimentConfig`
+#: validates its ``topology`` field against these names, and
+#: :func:`build_topology` retries random families until connected.
+TOPOLOGIES: dict[
+    str, Callable[[int, np.random.Generator, float], RandomGeometricGraph]
+] = {
+    "rgg": _build_rgg,
+    "torus-rgg": _build_torus,
+    "grid2d": _build_grid2d,
+    "smallworld": _build_smallworld,
+    "erdos-renyi": _build_erdos_renyi,
+}
+
+
+#: The family every pre-zoo sweep implicitly ran on.  Seed tags and
+#: store content keys omit this name (see :func:`topology_seed_tags`) so
+#: historical RGG streams and stores reproduce bit for bit.
+DEFAULT_TOPOLOGY = "rgg"
+
+
+def topology_seed_tags(topology: str, *tags) -> tuple:
+    """Seed-tag components for a graph stream of the given family.
+
+    The default family is omitted from the tag path — pre-zoo code
+    spawned graph streams without a topology component, and those
+    streams (hence all historical results) must keep reproducing.  Every
+    site that derives a graph RNG or a store key goes through this one
+    rule so the convention can never drift between them.
+
+    >>> topology_seed_tags("rgg", 128, 0)
+    (128, 0)
+    >>> topology_seed_tags("grid2d", 128, 0)
+    ('grid2d', 128, 0)
+    """
+    return tags if topology == DEFAULT_TOPOLOGY else (topology, *tags)
+
+
+def topology_names() -> list[str]:
+    """Registered topology family names, sorted.
+
+    >>> topology_names()
+    ['erdos-renyi', 'grid2d', 'rgg', 'smallworld', 'torus-rgg']
+    """
+    return sorted(TOPOLOGIES)
+
+
+def build_topology(
+    name: str,
+    n: int,
+    rng: np.random.Generator,
+    radius_constant: float = 2.0,
+    max_attempts: int = 50,
+) -> RandomGeometricGraph:
+    """Build a *connected* instance of the named topology family.
+
+    Random families are redrawn (consuming ``rng``) until connected, the
+    same retry contract as
+    :meth:`~repro.graphs.rgg.RandomGeometricGraph.sample_connected`;
+    deterministic families (``grid2d``) come out connected on the first
+    draw.  ``radius_constant`` only affects the geometric families.
+    """
+    try:
+        builder = TOPOLOGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; registered: {topology_names()}"
+        ) from None
+    for _ in range(max_attempts):
+        graph = builder(n, rng, radius_constant)
+        if is_connected(graph.neighbors):
+            return graph
+    raise RuntimeError(
+        f"no connected {name!r} instance of size {n} found in "
+        f"{max_attempts} attempts"
+    )

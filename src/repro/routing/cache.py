@@ -22,6 +22,21 @@ legacy scalar loop keeps using the plain router.
 Memory is one ``n``-vector of node indices per distinct target ever
 routed to — at most O(n²) integers, and in practice bounded by the
 targets a run actually draws.
+
+>>> import numpy as np
+>>> from repro.graphs.rgg import RandomGeometricGraph
+>>> from repro.routing.greedy import GreedyRouter
+>>> graph = RandomGeometricGraph.sample_connected(
+...     24, np.random.default_rng(3), radius_constant=3.0
+... )
+>>> cached, plain = CachedGreedyRouter(graph), GreedyRouter(graph)
+>>> cached.route_to_node(0, 5).path == plain.route_to_node(0, 5).path
+True
+>>> (cached.misses, cached.hits)  # first route built column for target 5
+(1, 0)
+>>> _ = cached.route_to_node(7, 5)
+>>> (cached.misses, cached.hits)
+(1, 1)
 """
 
 from __future__ import annotations

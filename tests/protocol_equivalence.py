@@ -37,6 +37,7 @@ from repro.gossip.affine import (
 from repro.gossip.base import GossipRunResult
 from repro.gossip.geographic import GeographicGossip
 from repro.gossip.hierarchical.rounds import HierarchicalGossip
+from repro.gossip.path_averaging import PathAveragingGossip
 from repro.gossip.randomized import RandomizedGossip
 from repro.gossip.spatial import SpatialGossip
 from repro.graphs.rgg import RandomGeometricGraph
@@ -48,6 +49,9 @@ _GRAPH = RandomGeometricGraph.sample_connected(
     _N, np.random.default_rng(20070801), radius_constant=3.0
 )
 _VALUES = np.random.default_rng(4242).normal(size=_N)
+#: Mean-zero (the paper's WLOG): keeps the affine-K_n cases in the
+#: regime Lemma 1 covers, so no UncenteredFieldWarning noise in runs.
+_VALUES -= _VALUES.mean()
 _ALPHAS = sample_alphas(_N, np.random.default_rng(99))
 
 
@@ -82,6 +86,14 @@ CASES: dict[str, ProtocolCase] = {
             lambda: GeographicGossip(_GRAPH, target_mode="rejection"),
         ),
         ProtocolCase("spatial", lambda: SpatialGossip(_GRAPH, rho=2.0)),
+        ProtocolCase(
+            "path-averaging",
+            lambda: PathAveragingGossip(_GRAPH, target_mode="uniform"),
+        ),
+        ProtocolCase(
+            "path-averaging-position",
+            lambda: PathAveragingGossip(_GRAPH, target_mode="position"),
+        ),
         ProtocolCase(
             "affine-kn", lambda: AffineGossipKn(_N, alphas=_ALPHAS)
         ),

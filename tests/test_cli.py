@@ -52,6 +52,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--algorithm", "telepathy"])
 
+    def test_topology_flag(self):
+        assert build_parser().parse_args(["run"]).topology == "rgg"
+        assert build_parser().parse_args(["sweep"]).topology == "rgg"
+        args = build_parser().parse_args(["sweep", "--topology", "grid2d"])
+        assert args.topology == "grid2d"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--topology", "hypercube"])
+
     def test_rejects_non_positive_engine_flags(self, capsys):
         for argv, fragment in (
             (["sweep", "--workers", "0"], "must be >= 1"),
@@ -126,6 +134,36 @@ class TestCommands:
         assert "resuming past 2 finished cells" in second
         # Identical numbers whether computed or resumed from the store.
         assert first.splitlines()[-6:] == second.splitlines()[-6:]
+
+    def test_run_on_zoo_topology(self, capsys):
+        code = main(
+            [
+                "run",
+                "--algorithm", "path-averaging",
+                "--topology", "grid2d",
+                "--n", "64",
+                "--epsilon", "0.3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "grid2d" in out
+        assert "path-averaging" in out
+
+    def test_sweep_on_zoo_topology(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--sizes", "48,64",
+                "--epsilon", "0.3",
+                "--trials", "1",
+                "--topology", "smallworld",
+                "--algorithms", "randomized,path-averaging",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "'smallworld'" in out
 
     def test_resume_requires_store_dir(self, capsys):
         assert main(["sweep", "--resume"]) == 2

@@ -301,6 +301,43 @@ class TestScalarFallbackWarning:
             )
         assert result.converged  # the fallback still runs correctly
 
+    def test_uncentered_field_warns_for_affine(self, instance):
+        """Mean-sensitive protocols get a futility warning, not a stall."""
+        from repro.engine.batching import UncenteredFieldWarning
+        from repro.gossip.affine import AffineGossipKn, sample_alphas
+
+        graph, values = instance
+        shifted = values + 5.0
+        algorithm = AffineGossipKn(
+            graph.n, alphas=sample_alphas(graph.n, np.random.default_rng(1))
+        )
+        with pytest.warns(UncenteredFieldWarning, match="mean-zero"):
+            run_batched(
+                algorithm, shifted, 0.25, spawn_rng(7, "run"), max_ticks=10
+            )
+        centred = shifted - shifted.mean()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UncenteredFieldWarning)
+            run_batched(
+                algorithm, centred, 0.25, spawn_rng(7, "run"), max_ticks=10
+            )
+
+    def test_warning_names_docs_page_and_registry(self, instance):
+        """Discoverability: the message points at the fix, not just the fact."""
+        graph, values = instance
+        with pytest.warns(ScalarFallbackWarning) as captured:
+            run_batched(
+                ScalarOnlyGossip(graph.n),
+                values,
+                0.25,
+                spawn_rng(7, "run"),
+                check_stride=4,
+            )
+        message = str(captured[0].message)
+        assert "docs/batching.md" in message
+        assert "protocol_batching" in message
+        assert "tick_block" in message
+
     def test_stride_one_never_warns(self, instance):
         graph, values = instance
         with warnings.catch_warnings():

@@ -57,6 +57,16 @@ class TestContentKey:
         with pytest.raises(ValueError):
             content_key(config, check_stride=0)
 
+    def test_topology_keys_distinct_but_rgg_matches_legacy(self, config):
+        """Zoo sweeps get fresh directories; flat-RGG keys are unchanged
+        from before the topology field existed, so old stores resume."""
+        import dataclasses
+
+        zoo = dataclasses.replace(config, topology="grid2d")
+        assert content_key(zoo) != content_key(config)
+        explicit = dataclasses.replace(config, topology="rgg")
+        assert content_key(explicit) == content_key(config)
+
 
 class TestResultStore:
     def test_roundtrip(self, tmp_path, config):

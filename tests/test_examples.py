@@ -33,3 +33,23 @@ class TestExamples:
         assert completed.returncode == 0, completed.stderr
         assert "transmissions" in completed.stdout
         assert "Cheapest at this size" in completed.stdout
+
+    def test_quickstart_sweep_runs_and_resumes(self, tmp_path):
+        """The docs/quickstart.md tutorial script: sweep, then resume."""
+        command = [
+            sys.executable,
+            str(EXAMPLES_DIR / "quickstart_sweep.py"),
+            str(tmp_path),
+            "48,64",
+        ]
+        first = subprocess.run(
+            command, capture_output=True, text=True, timeout=300
+        )
+        assert first.returncode == 0, first.stderr
+        assert "path-averaging" in first.stdout
+        assert "0/8 cells already on disk" in first.stdout
+        second = subprocess.run(
+            command, capture_output=True, text=True, timeout=300
+        )
+        assert second.returncode == 0, second.stderr
+        assert "8/8 cells already on disk" in second.stdout

@@ -1,0 +1,111 @@
+"""Unit tests for repro.gossip.path_averaging (randomized path averaging)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.seeds import spawn_rng
+from repro.gossip.geographic import GeographicGossip
+from repro.gossip.path_averaging import PathAveragingGossip
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.rgg import RandomGeometricGraph
+from repro.routing.cost import TransmissionCounter
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return RandomGeometricGraph.sample_connected(
+        64, np.random.default_rng(11), radius_constant=3.0
+    )
+
+
+class TestConstruction:
+    def test_rejects_unknown_target_mode(self, graph):
+        with pytest.raises(ValueError, match="target mode"):
+            PathAveragingGossip(graph, target_mode="teleport")
+
+    def test_modes_accepted(self, graph):
+        for mode in ("uniform", "position"):
+            assert PathAveragingGossip(graph, target_mode=mode).name == (
+                "path-averaging"
+            )
+
+
+class TestTick:
+    def test_sum_conserved_over_many_ticks(self, graph):
+        for mode in ("uniform", "position"):
+            protocol = PathAveragingGossip(graph, target_mode=mode)
+            rng = spawn_rng(3, "pa-sum", mode)
+            values = rng.normal(size=graph.n)
+            before = values.sum()
+            counter = TransmissionCounter()
+            for _ in range(200):
+                protocol.tick(int(rng.integers(graph.n)), values, counter, rng)
+            assert values.sum() == pytest.approx(before, abs=1e-9)
+
+    def test_whole_route_adopts_the_route_average(self, graph):
+        protocol = PathAveragingGossip(graph)
+        values = spawn_rng(5, "pa-field").normal(size=graph.n)
+        node = 3
+        # Replay the tick's single target draw to predict the route.
+        probe = spawn_rng(9, "pa-draw")
+        target = int(probe.integers(graph.n - 1))
+        if target >= node:
+            target += 1
+        route = protocol.router.route_to_node(node, target)
+        assert route.delivered and route.hops >= 1
+        expected = values[np.asarray(route.path)].mean()
+        protocol.tick(node, values, TransmissionCounter(), spawn_rng(9, "pa-draw"))
+        np.testing.assert_allclose(
+            values[np.asarray(route.path)], expected, rtol=0
+        )
+
+    def test_charges_two_transmissions_per_hop(self, graph):
+        protocol = PathAveragingGossip(graph)
+        values = spawn_rng(5, "pa-field").normal(size=graph.n)
+        node = 3
+        probe = spawn_rng(9, "pa-draw")
+        target = int(probe.integers(graph.n - 1))
+        if target >= node:
+            target += 1
+        hops = protocol.router.route_to_node(node, target).hops
+        counter = TransmissionCounter()
+        protocol.tick(node, values, counter, spawn_rng(9, "pa-draw"))
+        assert counter.total == 2 * hops
+        assert counter.snapshot()["route"] == 2 * hops
+
+    def test_position_mode_never_fails(self, graph):
+        protocol = PathAveragingGossip(graph, target_mode="position")
+        rng = spawn_rng(7, "pa-pos")
+        values = rng.normal(size=graph.n)
+        for _ in range(100):
+            protocol.tick(int(rng.integers(graph.n)), values, TransmissionCounter(), rng)
+        assert protocol.failed_exchanges == 0
+
+
+class TestRoutingVoids:
+    def test_void_aborts_conserve_sum_on_adversarial_topology(self):
+        """Erdős–Rényi edges ignore geometry: greedy routing voids often."""
+        graph = erdos_renyi_graph(80, np.random.default_rng(2))
+        protocol = PathAveragingGossip(graph)
+        rng = spawn_rng(13, "pa-er")
+        values = rng.normal(size=graph.n)
+        before = values.sum()
+        for _ in range(300):
+            protocol.tick(int(rng.integers(graph.n)), values, TransmissionCounter(), rng)
+        assert protocol.failed_exchanges > 0
+        assert values.sum() == pytest.approx(before, abs=1e-9)
+
+
+class TestOrderOptimality:
+    def test_beats_geographic_on_the_same_instance(self, graph):
+        """The headline mechanism: one routed walk mixes Θ(√n) values."""
+        values = spawn_rng(21, "pa-race").normal(size=graph.n)
+        costs = {}
+        for cls in (PathAveragingGossip, GeographicGossip):
+            protocol = cls(graph)
+            result = protocol.run(
+                values.copy(), 0.2, spawn_rng(22, "pa-race", cls.name)
+            )
+            assert result.converged
+            costs[cls.name] = result.total_transmissions
+        assert costs["path-averaging"] < costs["geographic"]
