@@ -1,0 +1,223 @@
+"""E18 — robustness: the gossip lineage under message loss and churn.
+
+The papers discuss this trade-off qualitatively: randomized gossip
+(Boyd et al.) is slow but local — an exchange risks only two
+transmissions; geographic gossip (Dimakis et al.) routes Õ(√n) hops per
+exchange; path averaging (Bénézit et al.) buys its order-optimality with
+*long transactions* — one operation spans ``2·hops`` transmissions and a
+loss anywhere aborts the whole multi-node averaging.  Under per-hop
+message loss the cost of reaching ε should therefore inflate fastest for
+path averaging, slower for pairwise geographic, and barely for the
+nearest-neighbour baseline.  This benchmark measures that ordering on
+shared instances (engine sweep cells with per-cell fault schedules
+derived from the root seed) and asserts it.
+
+Also asserted, per the dynamics subsystem's acceptance bar: with the
+fault machinery *installed but idle* (a zero spec through
+``build_cell_algorithm``), every protocol's run is bit-identical to the
+fault-free engine path — values, transmissions, ticks, and every trace
+point.
+
+A churn column (crash/recover dynamics at the harshest loss level)
+rides along for observability: live-node error and aborted-route counts
+land in the emitted table and the ``BENCH_e18_robustness.json`` artifact.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from _common import emit, emit_timing, timed_pedantic
+from repro.dynamics import DynamicGossip, DynamicSubstrate, FaultSpec
+from repro.engine.batching import run_batched
+from repro.engine.executor import build_instance, run_sweep_records
+from repro.experiments import (
+    ExperimentConfig,
+    format_table,
+    make_algorithm,
+    spawn_rng,
+)
+
+N = 256
+EPSILON = 0.15
+TRIALS = 3
+FIELD = "gradient"
+CHECK_STRIDE = 4
+WORKERS = max(1, min(4, os.cpu_count() or 1))
+ALGORITHMS = ("randomized", "geographic", "path-averaging")
+LOSS_LEVELS = (0.0, 0.1, 0.2, 0.3)
+CHURN_FAULTS = "churn=0.05,recover=0.2,loss=0.3,epoch=512"
+
+
+def _config(faults: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        sizes=(N,),
+        epsilon=EPSILON,
+        trials=TRIALS,
+        field=FIELD,
+        algorithms=ALGORITHMS,
+        faults=faults,
+    )
+
+
+def _mean_cost(records, name):
+    cells = [r for r in records.values() if r.algorithm == name]
+    assert len(cells) == TRIALS, (name, len(cells))
+    return float(np.mean([r.total_transmissions for r in cells]))
+
+
+def _mean_fault(records, name, metric):
+    cells = [r for r in records.values() if r.algorithm == name]
+    return float(np.mean([r.faults[metric] for r in cells]))
+
+
+def _assert_zero_loss_bit_identity():
+    """Idle fault machinery == the fault-free engine path, bit for bit."""
+    config = _config("none")
+    graph, values = build_instance(config, N, 0)
+    for name in ALGORITHMS:
+        substrate = DynamicSubstrate(graph, FaultSpec(), seed=2718)
+        dynamic = DynamicGossip(make_algorithm(name, substrate), substrate)
+        plain = make_algorithm(name, graph)
+        left = run_batched(
+            dynamic, values, EPSILON,
+            spawn_rng(config.root_seed, "e18", name),
+            check_stride=CHECK_STRIDE,
+        )
+        right = run_batched(
+            plain, values, EPSILON,
+            spawn_rng(config.root_seed, "e18", name),
+            check_stride=CHECK_STRIDE,
+        )
+        assert (left.values == right.values).all(), name
+        assert left.transmissions == right.transmissions, name
+        assert left.ticks == right.ticks, name
+        left_trace = [(p.transmissions, p.ticks, p.error) for p in left.trace.points]
+        right_trace = [
+            (p.transmissions, p.ticks, p.error) for p in right.trace.points
+        ]
+        assert left_trace == right_trace, name
+
+
+def test_e18_robustness(benchmark):
+    def robustness():
+        timings = {}
+        start = time.perf_counter()
+        _assert_zero_loss_bit_identity()
+        timings["bit_identity"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        by_level = {}
+        for loss in LOSS_LEVELS:
+            faults = "none" if loss == 0 else f"loss={loss}"
+            by_level[loss] = run_sweep_records(
+                _config(faults), workers=WORKERS, check_stride=CHECK_STRIDE
+            )
+        timings["loss_sweep"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        churn_records = run_sweep_records(
+            _config(CHURN_FAULTS), workers=WORKERS, check_stride=CHECK_STRIDE
+        )
+        timings["churn_sweep"] = time.perf_counter() - start
+        return by_level, churn_records, timings
+
+    by_level, churn_records, timings = timed_pedantic(
+        benchmark,
+        "e18_robustness",
+        robustness,
+        workers=WORKERS,
+        check_stride=CHECK_STRIDE,
+        n=N,
+        trials=TRIALS,
+        loss_levels=list(LOSS_LEVELS),
+    )
+    for stage, seconds in timings.items():
+        emit_timing(
+            f"e18_{stage}",
+            seconds,
+            n=N,
+            trials=TRIALS,
+            check_stride=CHECK_STRIDE,
+        )
+
+    baseline = {
+        name: _mean_cost(by_level[0.0], name) for name in ALGORITHMS
+    }
+    factors = {
+        loss: {
+            name: _mean_cost(by_level[loss], name) / baseline[name]
+            for name in ALGORITHMS
+        }
+        for loss in LOSS_LEVELS
+    }
+
+    cost_rows = [
+        [loss]
+        + [int(_mean_cost(by_level[loss], name)) for name in ALGORITHMS]
+        + [round(factors[loss][name], 2) for name in ALGORITHMS]
+        for loss in LOSS_LEVELS
+    ]
+    cost_table = format_table(
+        ["loss", *ALGORITHMS, *[f"{a} x" for a in ALGORITHMS]],
+        cost_rows,
+        title=(
+            f"E18  mean transmissions to eps={EPSILON} at n={N} under "
+            f"per-hop loss ({TRIALS} trials, shared instances; x = "
+            "degradation over loss 0)"
+        ),
+    )
+
+    churn_rows = []
+    for name in ALGORITHMS:
+        churn_rows.append(
+            [
+                name,
+                int(_mean_cost(churn_records, name)),
+                int(_mean_fault(churn_records, name, "aborted_routes")),
+                int(_mean_fault(churn_records, name, "wasted_ticks")),
+                round(_mean_fault(churn_records, name, "live_fraction"), 3),
+                round(_mean_fault(churn_records, name, "live_node_error"), 3),
+            ]
+        )
+    churn_table = format_table(
+        [
+            "protocol",
+            "transmissions",
+            "aborted",
+            "wasted ticks",
+            "live frac",
+            "live-node err",
+        ],
+        churn_rows,
+        title=f"E18  churn + loss ({CHURN_FAULTS!r})",
+    )
+    emit("e18_robustness", cost_table + "\n\n" + churn_table)
+
+    # The robustness ordering the lineage's papers predict qualitatively:
+    # transaction length is fragility.  At every nonzero loss level path
+    # averaging's relative degradation exceeds pairwise geographic's,
+    # which exceeds the nearest-neighbour baseline's; degradation grows
+    # with the loss rate.
+    for loss in LOSS_LEVELS[1:]:
+        level = factors[loss]
+        assert level["path-averaging"] > level["geographic"], (loss, level)
+        assert level["geographic"] > level["randomized"], (loss, level)
+    worst = factors[LOSS_LEVELS[-1]]
+    mild = factors[LOSS_LEVELS[1]]
+    for name in ALGORITHMS:
+        assert worst[name] > mild[name], (name, factors)
+    # Every loss-only cell still converges (the budget doubles under
+    # faults); churn cells may legitimately stall on the global criterion.
+    for loss in LOSS_LEVELS:
+        for record in by_level[loss].values():
+            assert record.converged, (loss, record.key)
+
+    benchmark.extra_info.update(
+        {
+            f"factor_{name}_at_{loss}": round(factors[loss][name], 3)
+            for loss in LOSS_LEVELS[1:]
+            for name in ALGORITHMS
+        }
+    )

@@ -8,7 +8,8 @@ The CI docs job runs this before ``mkdocs build --strict``.
 
 The generator doubles as the documentation linter: every public symbol
 of the **strict packages** (``repro.gossip``, ``repro.engine``,
-``repro.routing``) must carry a docstring, or the build fails — the
+``repro.dynamics``, ``repro.routing``) must carry a docstring, or the
+build fails — the
 acceptance bar "every gossip/ and engine/ public symbol has a docstring
 rendered in the API reference" is enforced here (and re-checked by
 ``tests/test_docs.py``).
@@ -29,6 +30,7 @@ from pathlib import Path
 PACKAGES = [
     "repro.gossip",
     "repro.engine",
+    "repro.dynamics",
     "repro.routing",
     "repro.graphs",
     "repro.experiments",
@@ -42,7 +44,12 @@ PACKAGES = [
 ]
 
 #: Packages whose public symbols MUST all be documented (build-failing).
-STRICT_PACKAGES = ("repro.gossip", "repro.engine", "repro.routing")
+STRICT_PACKAGES = (
+    "repro.gossip",
+    "repro.engine",
+    "repro.dynamics",
+    "repro.routing",
+)
 
 
 def iter_modules(package_name: str):

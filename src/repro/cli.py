@@ -29,10 +29,12 @@ import sys
 
 import numpy as np
 
-from repro.engine import ResultStore, run_batched
+from repro.dynamics import FaultSpec
+from repro.engine import ResultStore, build_faulted_algorithm, run_batched
 from repro.experiments import (
     ALGORITHMS,
     ExperimentConfig,
+    fault_incompatible,
     fit_loglog_slope,
     format_table,
     make_algorithm,
@@ -61,6 +63,69 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
+    """The fault-dynamics flags shared by ``run`` and ``sweep``."""
+    parser.add_argument(
+        "--faults",
+        default="none",
+        help="fault regime: a preset (none, lossy, churny, harsh) or a "
+        "spec string like 'churn=0.02,loss=0.05,epoch=256' "
+        "(see docs/dynamics.md)",
+    )
+    parser.add_argument(
+        "--churn-rate",
+        type=float,
+        default=None,
+        help="override the spec's per-epoch node crash probability",
+    )
+    parser.add_argument(
+        "--loss-prob",
+        type=float,
+        default=None,
+        help="override the spec's per-hop message-loss probability",
+    )
+
+
+def _fault_spec(args: argparse.Namespace) -> FaultSpec:
+    """Compose --faults with the explicit override flags.
+
+    Malformed specs exit with a clean usage error instead of a traceback.
+    """
+    import dataclasses
+
+    try:
+        spec = FaultSpec.parse(args.faults)
+        if args.churn_rate is not None:
+            spec = dataclasses.replace(spec, churn_rate=args.churn_rate)
+        if args.loss_prob is not None:
+            spec = dataclasses.replace(spec, loss_prob=args.loss_prob)
+    except ValueError as error:
+        _usage_error(str(error))
+    return spec
+
+
+def _usage_error(message: str) -> None:
+    """Print a clean CLI error and exit 2 (no traceback)."""
+    print(f"error: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def _reject_fault_incompatible(spec: FaultSpec, algorithms) -> None:
+    """Exit cleanly when faults are combined with unsupported protocols."""
+    if not spec.enabled:
+        return
+    try:
+        unsupported = fault_incompatible(tuple(algorithms))
+    except ValueError as error:
+        _usage_error(str(error))
+    if unsupported:
+        _usage_error(
+            f"fault dynamics ({spec.canonical()!r}) are not supported by "
+            f"{unsupported} (round-based, or no radio model) — pick "
+            "tick-driven protocols via --algorithm(s) or drop --faults"
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="engine error-check stride (1 = legacy bit-identical loop)",
     )
+    _add_fault_flags(run)
 
     sweep = sub.add_parser("sweep", help="scaling sweep (experiment E7)")
     sweep.add_argument("--sizes", default="128,256,512")
@@ -140,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --store-dir: reuse already-finished cells instead of "
         "starting fresh",
     )
+    _add_fault_flags(sweep)
 
     inspect = sub.add_parser("inspect", help="build and display a hierarchy")
     inspect.add_argument("--n", type=int, default=1024)
@@ -161,7 +228,17 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.show_field:
         print("initial field:")
         print(render_field(graph.positions, values))
-    algorithm = make_algorithm(args.algorithm, graph)
+    spec = _fault_spec(args)
+    _reject_fault_incompatible(spec, [args.algorithm])
+    if spec.enabled:
+        # The engine's per-cell fault wiring, as trial 0: the run faces
+        # the same fault *scenario* as sweep trial 0 at this seed (graph,
+        # field, and run streams keep their own cli-* tags).
+        algorithm = build_faulted_algorithm(
+            args.algorithm, graph, spec, args.seed, args.n, 0
+        )
+    else:
+        algorithm = make_algorithm(args.algorithm, graph)
     result = run_batched(
         algorithm,
         values,
@@ -169,6 +246,16 @@ def _command_run(args: argparse.Namespace) -> int:
         spawn_rng(args.seed, "cli-run", args.algorithm),
         check_stride=args.check_stride,
     )
+    fault_rows = []
+    if spec.enabled:
+        fault_rows = [["faults", spec.canonical()]] + [
+            [f"  {metric}", value]
+            for metric, value in sorted(
+                algorithm.fault_metrics(
+                    result.values, result.initial_values
+                ).items()
+            )
+        ]
     print(
         format_table(
             ["metric", "value"],
@@ -184,6 +271,7 @@ def _command_run(args: argparse.Namespace) -> int:
                     for cat, count in sorted(result.transmissions.items())
                     if cat != "total"
                 ],
+                *fault_rows,
             ],
             title=f"run to ε={args.epsilon} on a '{args.field}' field",
         )
@@ -197,15 +285,21 @@ def _command_run(args: argparse.Namespace) -> int:
 def _command_sweep(args: argparse.Namespace) -> int:
     sizes = tuple(int(s) for s in args.sizes.split(","))
     algorithms = tuple(a.strip() for a in args.algorithms.split(","))
-    config = ExperimentConfig(
-        sizes=sizes,
-        epsilon=args.epsilon,
-        trials=args.trials,
-        field=args.field,
-        root_seed=args.seed,
-        algorithms=algorithms,
-        topology=args.topology,
-    )
+    spec = _fault_spec(args)
+    _reject_fault_incompatible(spec, algorithms)
+    try:
+        config = ExperimentConfig(
+            sizes=sizes,
+            epsilon=args.epsilon,
+            trials=args.trials,
+            field=args.field,
+            root_seed=args.seed,
+            algorithms=algorithms,
+            topology=args.topology,
+            faults=spec.canonical(),
+        )
+    except ValueError as error:
+        _usage_error(str(error))
     store = None
     if args.store_dir is not None:
         store = ResultStore(args.store_dir, config, args.check_stride)
@@ -239,6 +333,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
             title=(
                 f"mean transmissions to ε={args.epsilon} on "
                 f"'{args.topology}' ({args.trials} trials)"
+                + (
+                    f", faults '{config.faults}'"
+                    if config.fault_spec().enabled
+                    else ""
+                )
             ),
         )
     )

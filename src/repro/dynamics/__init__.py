@@ -1,0 +1,54 @@
+"""Fault & churn dynamics: time-varying substrates for every protocol.
+
+The paper analyses gossip on a *static* connected ``G(n, r)``; the
+sensor-network literature it belongs to assumes the opposite — nodes
+crash and recover, links drop, packets are lost in flight.  This package
+turns any protocol × topology cell into such a time-varying scenario:
+
+* :mod:`repro.dynamics.schedule` — deterministic, seed-derived fault
+  schedules: :class:`FaultSpec` (the regime: churn / link failures /
+  per-hop loss / jitter, parsed from ``"churn=0.02,loss=0.05"`` strings
+  or :data:`FAULT_PRESETS`), :class:`FaultSchedule` (its vectorized
+  per-epoch realisation), and :class:`LossChannel` (the per-hop loss
+  stream).
+* :mod:`repro.dynamics.overlay` — the runtime: :class:`DynamicSubstrate`
+  (a masked, epoch-evolving view over a
+  :class:`~repro.graphs.rgg.RandomGeometricGraph`),
+  :class:`LossyRouter` (routes severed mid-transaction abort and charge,
+  like routing voids), and :class:`DynamicGossip` (wraps any tick-driven
+  protocol; preserves both engine batching contracts).
+
+The engine integrates this package end to end: set
+``ExperimentConfig(faults="churn=0.02,loss=0.05")`` (or the CLI's
+``--faults`` / ``--churn-rate`` / ``--loss-prob``) and every sweep cell
+runs on a dynamic substrate, records fault metrics in its
+:class:`~repro.engine.executor.CellRecord`, and keys its result store by
+the fault spec.  See ``docs/dynamics.md`` for the schedule grammar,
+determinism rules, and abort semantics.
+"""
+
+from repro.dynamics.overlay import (
+    DynamicGossip,
+    DynamicSubstrate,
+    LossyRouter,
+    live_node_error,
+)
+from repro.dynamics.schedule import (
+    FAULT_PRESETS,
+    EpochEvents,
+    FaultSchedule,
+    FaultSpec,
+    LossChannel,
+)
+
+__all__ = [
+    "FAULT_PRESETS",
+    "DynamicGossip",
+    "DynamicSubstrate",
+    "EpochEvents",
+    "FaultSchedule",
+    "FaultSpec",
+    "LossChannel",
+    "LossyRouter",
+    "live_node_error",
+]

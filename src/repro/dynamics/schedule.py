@@ -1,0 +1,436 @@
+"""Deterministic, seed-derived fault schedules.
+
+The paper's guarantees live in the w.h.p. regime — a connected ``G(n, r)``
+with no routing voids — but the gossip lineage it belongs to was motivated
+by *unreliable* sensor networks: Dimakis, Sarwate & Wainwright explicitly
+target nodes that fail and links that drop, and path averaging is only
+order-optimal while its long routes survive.  This module describes those
+dynamics as data:
+
+* :class:`FaultSpec` — the static description of a fault regime: node
+  churn (crash/recover), transient per-epoch link failures, per-hop
+  message loss, and optional positional jitter.  Parsed from compact
+  ``"churn=0.02,loss=0.05"`` strings (the CLI's ``--faults``) or picked
+  from :data:`FAULT_PRESETS`.
+* :class:`FaultSchedule` — the *realisation* of a spec for one run: a
+  deterministic function of ``(spec, n, seed)`` producing vectorized
+  per-epoch event streams (:class:`EpochEvents`) and the per-hop
+  :class:`LossChannel`.  Identical seeds yield identical schedules on any
+  machine and under any executor (serial or process pool), because every
+  stream derives from a :class:`numpy.random.SeedSequence` keyed only by
+  ``(seed, purpose, epoch)``.
+
+Time is divided into **epochs** of ``epoch_ticks`` global clock ticks.
+Epoch 0 is always pristine (the substrate starts as the base graph);
+the events of epoch ``k ≥ 1`` apply when the run's tick counter crosses
+``k · epoch_ticks``.  Message loss is *not* epoch-quantised: the
+:class:`LossChannel` draws one uniform per attempted transmission, in
+tick order, from its own dedicated stream — so protocol randomness and
+fault randomness can never perturb each other, which is what keeps
+fault-free runs bit-identical to the legacy engine path (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FAULT_PRESETS",
+    "EpochEvents",
+    "FaultSchedule",
+    "FaultSpec",
+    "LossChannel",
+]
+
+#: Stream-purpose tags mixed into the SeedSequence entropy so the node
+#: epoch streams, the link streams, and the loss stream of one schedule
+#: can never collide.  Links get their own per-epoch stream because the
+#: size of a link draw is the *current* edge count, which jitter can
+#: change within the same epoch transition — the node draws must not
+#: shift when it does.
+_EPOCH_STREAM = 0xE19C
+_LINK_STREAM = 0x11AC
+_LOSS_STREAM = 0x105E
+
+#: ``--faults`` key aliases → :class:`FaultSpec` field names.
+_SPEC_KEYS = {
+    "churn": "churn_rate",
+    "churn_rate": "churn_rate",
+    "recover": "recover_rate",
+    "recover_rate": "recover_rate",
+    "links": "link_failure_rate",
+    "link_failure_rate": "link_failure_rate",
+    "loss": "loss_prob",
+    "loss_prob": "loss_prob",
+    "jitter": "jitter_sigma",
+    "jitter_sigma": "jitter_sigma",
+    "epoch": "epoch_ticks",
+    "epoch_ticks": "epoch_ticks",
+    "floor": "min_live_fraction",
+    "min_live_fraction": "min_live_fraction",
+}
+
+#: Canonical short key per field (the inverse of :data:`_SPEC_KEYS`),
+#: in the order :meth:`FaultSpec.canonical` renders them.
+_CANONICAL_KEYS = (
+    ("churn", "churn_rate"),
+    ("recover", "recover_rate"),
+    ("links", "link_failure_rate"),
+    ("loss", "loss_prob"),
+    ("jitter", "jitter_sigma"),
+    ("epoch", "epoch_ticks"),
+    ("floor", "min_live_fraction"),
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A fault regime: rates per epoch, loss per hop, one tick quantum.
+
+    Attributes
+    ----------
+    churn_rate:
+        Probability that each *live* node crashes at an epoch boundary.
+        A crashed node freezes its value, leaves every adjacency list,
+        and wastes any clock tick it owns.
+    recover_rate:
+        Probability that each *crashed* node recovers at an epoch
+        boundary, rejoining with the value it froze at crash time (so the
+        global sum is conserved through churn).  The default is non-zero
+        so that ``--churn-rate`` alone describes a recovering population.
+    link_failure_rate:
+        Probability that each base edge is down *for one epoch* (links
+        heal implicitly at the next boundary; a fresh draw decides again).
+    loss_prob:
+        Per-hop, per-transmission loss probability.  A lost transmission
+        severs the operation mid-transaction: the hops already attempted
+        are charged (category ``"route_lost"`` / ``"near_lost"``) and the
+        whole exchange aborts with no value update — the same
+        conservation contract as the existing routing-void aborts.
+    jitter_sigma:
+        Standard deviation of the per-epoch Gaussian position jitter
+        (a crude mobility model).  Non-zero jitter rebuilds the base
+        adjacency at every epoch boundary; expensive, off by default.
+    epoch_ticks:
+        Epoch length in global clock ticks.
+    min_live_fraction:
+        Crash floor: churn never takes the live population below
+        ``ceil(min_live_fraction · n)`` nodes, so a run always has a
+        population left to converge on.
+    """
+
+    churn_rate: float = 0.0
+    recover_rate: float = 0.25
+    link_failure_rate: float = 0.0
+    loss_prob: float = 0.0
+    jitter_sigma: float = 0.0
+    epoch_ticks: int = 512
+    min_live_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "churn_rate",
+            "recover_rate",
+            "link_failure_rate",
+            "loss_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {value}")
+        if self.jitter_sigma < 0:
+            raise ValueError(
+                f"jitter_sigma must be non-negative, got {self.jitter_sigma}"
+            )
+        if self.epoch_ticks < 1:
+            raise ValueError(
+                f"epoch_ticks must be >= 1, got {self.epoch_ticks}"
+            )
+        if not 0.0 < self.min_live_fraction <= 1.0:
+            raise ValueError(
+                "min_live_fraction must lie in (0, 1], got "
+                f"{self.min_live_fraction}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this spec perturbs a run at all.
+
+        A disabled spec (all rates zero, no jitter) makes the dynamics
+        wrapper a bit-exact pass-through of the fault-free engine path.
+
+        >>> FaultSpec().enabled
+        False
+        >>> FaultSpec(loss_prob=0.05).enabled
+        True
+        """
+        return bool(
+            self.churn_rate > 0
+            or self.link_failure_rate > 0
+            or self.loss_prob > 0
+            or self.jitter_sigma > 0
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse a preset name or a ``key=value,...`` spec string.
+
+        Keys accept short aliases (``churn``, ``recover``, ``links``,
+        ``loss``, ``jitter``, ``epoch``, ``floor``) or the full field
+        names.  Unknown keys and out-of-range values raise
+        :class:`ValueError` — the same validation the dataclass applies.
+
+        >>> FaultSpec.parse("none").enabled
+        False
+        >>> FaultSpec.parse("churn=0.1,loss=0.05").loss_prob
+        0.05
+        """
+        text = text.strip()
+        if text in FAULT_PRESETS:
+            return FAULT_PRESETS[text]
+        if not text:
+            raise ValueError("empty fault spec; use 'none' for no faults")
+        kwargs: dict[str, float | int] = {}
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"bad fault spec item {item!r}; expected key=value "
+                    f"(keys: {sorted(set(_SPEC_KEYS))}) or a preset name "
+                    f"({sorted(FAULT_PRESETS)})"
+                )
+            field = _SPEC_KEYS.get(key.strip())
+            if field is None:
+                raise ValueError(
+                    f"unknown fault spec key {key.strip()!r}; known keys: "
+                    f"{sorted(set(_SPEC_KEYS))}"
+                )
+            try:
+                kwargs[field] = (
+                    int(value) if field == "epoch_ticks" else float(value)
+                )
+            except ValueError:
+                raise ValueError(
+                    f"bad value for fault spec key {key.strip()!r}: {value!r}"
+                ) from None
+        return cls(**kwargs)
+
+    def canonical(self) -> str:
+        """The stable one-line rendering of this spec.
+
+        ``"none"`` for a disabled spec; otherwise the short keys of every
+        field that differs from the defaults, in a fixed order — the form
+        the CLI writes into :class:`~repro.experiments.config.ExperimentConfig`
+        and the store content key hashes.
+
+        >>> FaultSpec.parse("loss=0.05,churn=0.02").canonical()
+        'churn=0.02,loss=0.05'
+        >>> FaultSpec().canonical()
+        'none'
+        """
+        if not self.enabled:
+            return "none"
+        default = FaultSpec()
+        parts = []
+        for key, field in _CANONICAL_KEYS:
+            value = getattr(self, field)
+            if value != getattr(default, field):
+                # repr round-trips exactly (%g would truncate to 6
+                # significant digits — a silent store-key collision — and
+                # renders large epoch counts unparseably as 1e+06).
+                parts.append(f"{key}={value!r}")
+        return ",".join(parts)
+
+
+#: Named fault regimes the CLI accepts in place of a spec string.
+FAULT_PRESETS: dict[str, FaultSpec] = {
+    "none": FaultSpec(),
+    "lossy": FaultSpec(loss_prob=0.05),
+    "churny": FaultSpec(churn_rate=0.02, recover_rate=0.2),
+    "harsh": FaultSpec(
+        churn_rate=0.05,
+        recover_rate=0.2,
+        link_failure_rate=0.05,
+        loss_prob=0.05,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class EpochEvents:
+    """The vectorized events of one epoch boundary.
+
+    Attributes
+    ----------
+    crash:
+        Boolean ``(n,)`` flags — live nodes so flagged crash (subject to
+        the spec's ``min_live_fraction`` floor).
+    recover:
+        Boolean ``(n,)`` flags — crashed nodes so flagged recover.
+    jitter:
+        ``(n, 2)`` Gaussian position offsets, or ``None`` without jitter.
+
+    Link failures are *not* here: their draw is sized by the substrate's
+    current edge count, which jitter may change mid-transition, so they
+    come from :meth:`FaultSchedule.link_events` on a dedicated stream.
+    """
+
+    crash: np.ndarray
+    recover: np.ndarray
+    jitter: np.ndarray | None
+
+
+class LossChannel:
+    """The per-hop message-loss stream of one run.
+
+    Draws one uniform per *attempted* transmission, strictly in tick
+    order, from a dedicated generator — so consumption is independent of
+    how the engine chunked the run into blocks, and a ``loss_prob`` of 0
+    consumes nothing at all (the fault-free bit-identity guarantee).
+    Draws are buffered in vectorized refills to keep the per-hop cost at
+    an array lookup.
+    """
+
+    def __init__(
+        self,
+        loss_prob: float,
+        rng: np.random.Generator,
+        buffer_size: int = 4096,
+    ):
+        if not 0.0 <= loss_prob <= 1.0:
+            raise ValueError(f"loss_prob must lie in [0, 1], got {loss_prob}")
+        if buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
+        self.loss_prob = loss_prob
+        self._rng = rng
+        self._buffer_size = buffer_size
+        self._buffer = np.empty(0, dtype=np.float64)
+        self._cursor = 0
+        #: Total transmissions lost on this channel (observability).
+        self.losses = 0
+
+    def _next(self) -> float:
+        if self._cursor >= self._buffer.size:
+            self._buffer = self._rng.random(self._buffer_size)
+            self._cursor = 0
+        value = self._buffer[self._cursor]
+        self._cursor += 1
+        return float(value)
+
+    def attempt(self, hops: int) -> tuple[bool, int]:
+        """Try ``hops`` consecutive transmissions.
+
+        Returns ``(delivered, attempted)``: ``(True, hops)`` when every
+        transmission got through, else ``(False, k)`` where the ``k``-th
+        transmission was the one lost — ``k`` transmissions were sent (and
+        should be charged), ``k − 1`` arrived.  With ``loss_prob == 0``
+        no randomness is consumed.
+        """
+        if hops < 0:
+            raise ValueError(f"hops must be non-negative, got {hops}")
+        if self.loss_prob <= 0.0 or hops == 0:
+            return True, hops
+        for sent in range(1, hops + 1):
+            if self._next() < self.loss_prob:
+                self.losses += 1
+                return False, sent
+        return True, hops
+
+
+class FaultSchedule:
+    """The deterministic realisation of a :class:`FaultSpec` for one run.
+
+    Parameters
+    ----------
+    spec:
+        The fault regime.
+    n:
+        Number of nodes (sizes the per-epoch node streams).
+    seed:
+        Root of every stream this schedule owns.  Two schedules built
+        from equal ``(spec, n, seed)`` produce identical events and an
+        identical loss stream — the property the serial-vs-parallel
+        executor test pins down.
+
+    >>> schedule = FaultSchedule(FaultSpec(churn_rate=0.5), n=8, seed=7)
+    >>> again = FaultSchedule(FaultSpec(churn_rate=0.5), n=8, seed=7)
+    >>> bool(
+    ...     (schedule.epoch_events(1).crash
+    ...      == again.epoch_events(1).crash).all()
+    ... )
+    True
+    """
+
+    def __init__(self, spec: FaultSpec, n: int, seed: int = 0):
+        if n < 1:
+            raise ValueError(f"need at least one node, got {n}")
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        self.spec = spec
+        self.n = n
+        self.seed = seed
+
+    def epoch_rng(self, epoch: int) -> np.random.Generator:
+        """The dedicated generator of epoch ``epoch``'s event draws."""
+        return np.random.default_rng(
+            np.random.SeedSequence([_EPOCH_STREAM, self.seed, epoch])
+        )
+
+    def epoch_events(self, epoch: int) -> EpochEvents:
+        """The node events applying at the boundary of epoch ``epoch`` (≥ 1).
+
+        Draw order within the epoch generator is fixed by the spec, and
+        every draw is node-sized, so the events are a pure function of
+        ``(spec, n, seed, epoch)``.
+        """
+        if epoch < 1:
+            raise ValueError(
+                f"epoch 0 is pristine by construction; got epoch {epoch}"
+            )
+        spec = self.spec
+        rng = self.epoch_rng(epoch)
+        if spec.churn_rate > 0:
+            crash = rng.random(self.n) < spec.churn_rate
+            recover = rng.random(self.n) < spec.recover_rate
+        else:
+            crash = np.zeros(self.n, dtype=bool)
+            recover = np.zeros(self.n, dtype=bool)
+        jitter = None
+        if spec.jitter_sigma > 0:
+            jitter = spec.jitter_sigma * rng.standard_normal((self.n, 2))
+        return EpochEvents(crash=crash, recover=recover, jitter=jitter)
+
+    def link_events(self, epoch: int, edge_count: int) -> np.ndarray | None:
+        """This epoch's down-link flags over the *current* edge list.
+
+        ``edge_count`` must be the substrate's edge count *after* any
+        jitter rebuild of the same transition — that is why links live on
+        their own ``(seed, epoch)``-keyed stream rather than inside
+        :meth:`epoch_events`: sizing this draw can never perturb the node
+        draws.  ``None`` when the spec has no link failures or there are
+        no edges.
+        """
+        if epoch < 1:
+            raise ValueError(
+                f"epoch 0 is pristine by construction; got epoch {epoch}"
+            )
+        spec = self.spec
+        if spec.link_failure_rate <= 0 or edge_count <= 0:
+            return None
+        rng = np.random.default_rng(
+            np.random.SeedSequence([_LINK_STREAM, self.seed, epoch])
+        )
+        return rng.random(edge_count) < spec.link_failure_rate
+
+    def loss_channel(self) -> LossChannel:
+        """A fresh :class:`LossChannel` over this schedule's loss stream."""
+        return LossChannel(
+            self.spec.loss_prob,
+            np.random.default_rng(
+                np.random.SeedSequence([_LOSS_STREAM, self.seed])
+            ),
+        )

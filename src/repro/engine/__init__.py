@@ -35,6 +35,8 @@ from repro.engine.batching import (
 from repro.engine.executor import (
     CellRecord,
     SweepCell,
+    build_cell_algorithm,
+    build_faulted_algorithm,
     build_instance,
     execute_cell,
     expand_grid,
@@ -50,6 +52,8 @@ __all__ = [
     "SweepCell",
     "UncenteredFieldWarning",
     "batching_capability",
+    "build_cell_algorithm",
+    "build_faulted_algorithm",
     "build_instance",
     "content_key",
     "execute_cell",

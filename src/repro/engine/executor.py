@@ -34,6 +34,8 @@ __all__ = [
     "CellKey",
     "CellRecord",
     "SweepCell",
+    "build_cell_algorithm",
+    "build_faulted_algorithm",
     "build_instance",
     "execute_cell",
     "expand_grid",
@@ -65,6 +67,13 @@ class CellRecord:
     counts, convergence) without the arrays and traces of a full
     :class:`~repro.gossip.base.GossipRunResult`, so records are cheap to
     ship between worker processes and to persist.
+
+    ``faults`` is the per-cell fault observability payload
+    (:meth:`repro.dynamics.overlay.DynamicGossip.fault_metrics`: aborted
+    routes, wasted ticks, lost transmissions, churn counts, live-node
+    error); it is ``None`` for fault-free cells, and absent from their
+    serialized form, so stores written before the dynamics subsystem
+    existed load unchanged.
     """
 
     algorithm: str
@@ -75,6 +84,7 @@ class CellRecord:
     ticks: int
     converged: bool
     error: float
+    faults: Mapping[str, float] | None = None
 
     @property
     def key(self) -> CellKey:
@@ -87,10 +97,15 @@ class CellRecord:
     def to_dict(self) -> dict:
         payload = asdict(self)
         payload["transmissions"] = dict(self.transmissions)
+        if self.faults is None:
+            del payload["faults"]
+        else:
+            payload["faults"] = dict(self.faults)
         return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "CellRecord":
+        faults = payload.get("faults")
         return cls(
             algorithm=str(payload["algorithm"]),
             n=int(payload["n"]),
@@ -102,6 +117,11 @@ class CellRecord:
             ticks=int(payload["ticks"]),
             converged=bool(payload["converged"]),
             error=float(payload["error"]),
+            faults=(
+                None
+                if faults is None
+                else {str(k): float(v) for k, v in faults.items()}
+            ),
         )
 
 
@@ -147,19 +167,69 @@ def expand_grid(config: ExperimentConfig) -> list[SweepCell]:
     ]
 
 
+def build_faulted_algorithm(
+    algorithm: str, graph, spec, root_seed: int, n: int, trial: int
+):
+    """Build ``algorithm`` over a dynamic substrate realising ``spec``.
+
+    The one place the fault wiring lives: the protocol is constructed
+    *over* the :class:`~repro.dynamics.overlay.DynamicSubstrate` (so its
+    routers read the masked, time-varying adjacency) and wrapped in a
+    :class:`~repro.dynamics.overlay.DynamicGossip`.  The schedule seed
+    derives from ``(root_seed, "faults", n, trial)`` — *not* from the
+    algorithm name — so every protocol of one trial faces the identical
+    fault scenario, which is what makes robustness comparisons (and the
+    serial-vs-parallel determinism guarantee) meaningful.  The CLI's
+    ``run`` command routes through here too (as trial 0) and therefore
+    faces the same fault *scenario* as sweep trial 0 — the scenario
+    only: the CLI seeds its graph, field, and run streams with its own
+    ``cli-*`` tags, so the rest of the randomness differs from the
+    sweep cell's.
+    """
+    from repro.dynamics import DynamicGossip, DynamicSubstrate
+    from repro.experiments.config import make_algorithm
+    from repro.experiments.seeds import derive_seed
+
+    substrate = DynamicSubstrate(
+        graph, spec, seed=derive_seed(root_seed, "faults", n, trial)
+    )
+    return DynamicGossip(make_algorithm(algorithm, substrate), substrate)
+
+
+def build_cell_algorithm(
+    config: ExperimentConfig, graph, algorithm: str, n: int, trial: int
+):
+    """The cell's algorithm instance, fault-wrapped when the config asks.
+
+    Fault-free configs build the registered algorithm on ``graph``
+    directly — the historical path, bit for bit; enabled fault specs go
+    through :func:`build_faulted_algorithm`.
+    """
+    from repro.experiments.config import make_algorithm
+
+    spec = config.fault_spec()
+    if not spec.enabled:
+        return make_algorithm(algorithm, graph)
+    return build_faulted_algorithm(
+        algorithm, graph, spec, config.root_seed, n, trial
+    )
+
+
 def execute_cell(
     config: ExperimentConfig, cell: SweepCell, check_stride: int = 1
 ) -> CellRecord:
     """Run one grid cell to ε and summarise it as a :class:`CellRecord`."""
-    from repro.experiments.config import make_algorithm
     from repro.experiments.seeds import spawn_rng
 
     graph, values = build_instance(config, cell.n, cell.trial)
-    algorithm = make_algorithm(cell.algorithm, graph)
+    algorithm = build_cell_algorithm(
+        config, graph, cell.algorithm, cell.n, cell.trial
+    )
     run_rng = spawn_rng(config.root_seed, "run", cell.algorithm, cell.n, cell.trial)
     result = run_batched(
         algorithm, values, config.epsilon, run_rng, check_stride=check_stride
     )
+    fault_metrics = getattr(algorithm, "fault_metrics", None)
     return CellRecord(
         algorithm=cell.algorithm,
         n=cell.n,
@@ -169,6 +239,11 @@ def execute_cell(
         ticks=result.ticks,
         converged=result.converged,
         error=result.error,
+        faults=(
+            None
+            if fault_metrics is None
+            else fault_metrics(result.values, result.initial_values)
+        ),
     )
 
 

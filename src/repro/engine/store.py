@@ -71,6 +71,14 @@ def _config_payload(config: ExperimentConfig, check_stride: int) -> dict:
 
     if config.topology != DEFAULT_TOPOLOGY:
         payload["topology"] = config.topology
+    # Same back-compat rule for faults: disabled specs (however spelled)
+    # keep the pre-dynamics content key, so historical stores resume; an
+    # enabled spec is hashed in canonical form, so equivalent spellings
+    # ("loss=0.05" vs "loss_prob=0.05") share one directory and resumes
+    # can never mix fault regimes.
+    spec = config.fault_spec()
+    if spec.enabled:
+        payload["faults"] = spec.canonical()
     return payload
 
 

@@ -20,6 +20,7 @@ from repro.experiments.config import (
     ALGORITHMS,
     ALGORITHM_CLASSES,
     ExperimentConfig,
+    fault_incompatible,
     make_algorithm,
     protocol_batching,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "aggregate_records",
     "aggregate_trials",
     "derive_seed",
+    "fault_incompatible",
     "fit_loglog_slope",
     "format_table",
     "format_value",

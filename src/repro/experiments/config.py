@@ -13,6 +13,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.dynamics.schedule import FaultSpec
 from repro.gossip.affine import AffineGossipKn, sample_alphas
 from repro.gossip.geographic import GeographicGossip
 from repro.gossip.hierarchical.rounds import HierarchicalGossip
@@ -25,6 +26,7 @@ from repro.graphs.rgg import RandomGeometricGraph
 __all__ = [
     "ALGORITHMS",
     "ALGORITHM_CLASSES",
+    "fault_incompatible",
     "make_algorithm",
     "protocol_batching",
     "ExperimentConfig",
@@ -115,6 +117,33 @@ def protocol_batching(algorithms: tuple[str, ...] | list[str]) -> dict[str, str]
     return capabilities
 
 
+def fault_incompatible(algorithms: tuple[str, ...] | list[str]) -> list[str]:
+    """The subset of ``algorithms`` that cannot run under fault dynamics.
+
+    Two reasons disqualify a protocol: it is round-based (no tick loop
+    to interleave epoch boundaries with — ``hierarchical``), or it
+    declares ``supports_dynamics = False`` (no radio model for faults to
+    act on — the ``affine`` K_n comparator).  Config validation and the
+    CLI both consult this one rule.
+    """
+    from repro.engine.batching import batching_capability
+
+    out = []
+    for name in algorithms:
+        try:
+            cls = ALGORITHM_CLASSES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown algorithm {name!r}; registered: "
+                f"{sorted(ALGORITHM_CLASSES)}"
+            ) from None
+        if batching_capability(cls) == "rounds" or not getattr(
+            cls, "supports_dynamics", True
+        ):
+            out.append(name)
+    return sorted(out)
+
+
 def make_algorithm(name: str, graph: RandomGeometricGraph):
     """Instantiate a registered algorithm on ``graph``."""
     try:
@@ -152,6 +181,19 @@ class ExperimentConfig:
         every sweep cell builds its instance from this family.  The
         default ``"rgg"`` reproduces the historical flat-RGG sweeps (and
         their seed streams) bit for bit.
+    faults:
+        Fault regime for every sweep cell: a preset name from
+        :data:`repro.dynamics.schedule.FAULT_PRESETS` or a spec string
+        such as ``"churn=0.02,loss=0.05"`` (see
+        :meth:`repro.dynamics.schedule.FaultSpec.parse`).  The default
+        ``"none"`` runs the historical fault-free engine path bit for
+        bit; anything else wraps each cell's protocol in a
+        :class:`~repro.dynamics.overlay.DynamicGossip` over a
+        :class:`~repro.dynamics.overlay.DynamicSubstrate` whose schedule
+        seed derives from ``root_seed`` and the cell's ``(n, trial)`` —
+        so every algorithm of a trial faces the *same* fault scenario.
+        Round-based protocols (``hierarchical``) have no tick loop to
+        interleave epochs with and are rejected under faults.
     """
 
     sizes: tuple[int, ...] = (128, 256, 512, 1024)
@@ -162,6 +204,7 @@ class ExperimentConfig:
     root_seed: int = 20070801  # PODC 2007
     algorithms: tuple[str, ...] = ("randomized", "geographic", "hierarchical")
     topology: str = "rgg"
+    faults: str = "none"
 
     def __post_init__(self) -> None:
         if not self.sizes:
@@ -180,3 +223,16 @@ class ExperimentConfig:
                 f"unknown topology {self.topology!r}; registered: "
                 f"{topology_names()}"
             )
+        spec = FaultSpec.parse(self.faults)  # raises on a malformed spec
+        if spec.enabled:
+            unsupported = fault_incompatible(self.algorithms)
+            if unsupported:
+                raise ValueError(
+                    f"fault dynamics ({self.faults!r}) are not supported by "
+                    f"{unsupported} (round-based, or no radio model) — drop "
+                    "them from `algorithms` or run fault-free"
+                )
+
+    def fault_spec(self) -> FaultSpec:
+        """The parsed fault regime of this config."""
+        return FaultSpec.parse(self.faults)

@@ -24,11 +24,12 @@ from repro.engine.batching import run_batched
 from repro.engine.executor import (
     CellKey,
     CellRecord,
+    build_cell_algorithm,
     build_instance,
     run_sweep_records,
 )
 from repro.engine.store import ResultStore
-from repro.experiments.config import ExperimentConfig, make_algorithm
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.seeds import spawn_rng
 from repro.gossip.base import GossipRunResult
 
@@ -80,11 +81,17 @@ def run_convergence(
     trace_thinning: float = 0.02,
     check_stride: int = 1,
 ) -> list[ConvergenceRun]:
-    """Run every configured algorithm on one shared placement and field."""
+    """Run every configured algorithm on one shared placement and field.
+
+    With ``config.faults`` enabled every algorithm additionally runs on
+    its own :class:`~repro.dynamics.overlay.DynamicSubstrate` realising
+    the *same* fault scenario (the schedule seed depends only on
+    ``(root_seed, n, trial)``), so the comparison stays apples to apples.
+    """
     graph, values = build_instance(config, n, trial)
     runs = []
     for name in config.algorithms:
-        algorithm = make_algorithm(name, graph)
+        algorithm = build_cell_algorithm(config, graph, name, n, trial)
         run_rng = spawn_rng(config.root_seed, "run", name, n, trial)
         result = run_batched(
             algorithm,

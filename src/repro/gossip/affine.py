@@ -80,6 +80,12 @@ class AffineGossipKn(AsynchronousGossip):
     #: warns when such a field is handed to this protocol.
     requires_centered_field = True
 
+    #: The comparator has no radio model: exchanges pick *any* node of
+    #: ``K_n`` and write to it directly, so fault dynamics (which freeze
+    #: crashed nodes' values and sever routed transmissions) have nothing
+    #: coherent to attach to — the dynamics layer rejects it.
+    supports_dynamics = False
+
     def __init__(
         self,
         n: int,

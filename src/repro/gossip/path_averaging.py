@@ -79,10 +79,22 @@ class PathAveragingGossip(AsynchronousGossip):
     Attributes
     ----------
     failed_exchanges:
-        Number of ticks aborted at a routing void (``"uniform"`` mode only).
+        Number of ticks aborted at a routing void (``"uniform"`` mode) or
+        severed by message loss on a dynamic substrate (any mode).
+    flash_channel:
+        Optional per-hop loss stream
+        (:class:`~repro.dynamics.schedule.LossChannel`) applied to the
+        reverse broadcast of the final average; ``None`` (the default)
+        keeps the flash lossless.  Set by
+        :class:`~repro.dynamics.overlay.DynamicGossip`, whose
+        :class:`~repro.dynamics.overlay.LossyRouter` covers the forward
+        walk — together the whole ``2 · hops`` transaction is subject to
+        loss, and a loss anywhere aborts it with no update (the hops
+        already attempted are charged under ``"route_lost"``).
     """
 
     name = "path-averaging"
+    flash_channel = None
 
     def __init__(
         self,
@@ -121,6 +133,11 @@ class PathAveragingGossip(AsynchronousGossip):
                 return
         else:
             route = self.router.route_to_position(node, rng.random(2), counter)
+            if not route.delivered:
+                # Only a lossy substrate can sever a position walk; the
+                # packet (and its running sum) died in flight — abort.
+                self.failed_exchanges += 1
+                return
         self._average_route(route.path, route.hops, values, counter)
 
     def tick_block(
@@ -162,6 +179,9 @@ class PathAveragingGossip(AsynchronousGossip):
                 route = self.router.route_to_position(
                     node, points[index], counter
                 )
+                if not route.delivered:
+                    self.failed_exchanges += 1
+                    continue
                 self._average_route(route.path, route.hops, values, counter)
 
     def tick_budget(self, epsilon: float) -> int:
@@ -174,8 +194,8 @@ class PathAveragingGossip(AsynchronousGossip):
         log_term = 1 + abs(np.log(max(epsilon, 1e-12)))
         return int(40 * self.n * log_term) + 10_000
 
-    @staticmethod
     def _average_route(
+        self,
         path: tuple[int, ...],
         hops: int,
         values: np.ndarray,
@@ -189,9 +209,20 @@ class PathAveragingGossip(AsynchronousGossip):
         endpoint-averaging protocols).  Greedy paths visit strictly
         closer nodes each hop, so ``path`` never repeats a node and the
         in-place mean conserves the sum up to float rounding.
+
+        With a :attr:`flash_channel` the reverse broadcast itself can be
+        severed: the transaction is all-or-nothing (a partial flash would
+        leak mass), so a loss at any flash hop charges the transmissions
+        attempted under ``"route_lost"`` and aborts with no update.
         """
         if hops < 1:
             return
+        if self.flash_channel is not None:
+            delivered, attempted = self.flash_channel.attempt(hops)
+            if not delivered:
+                counter.charge(attempted, "route_lost")
+                self.failed_exchanges += 1
+                return
         counter.charge(hops, "route")
         nodes = np.asarray(path, dtype=np.int64)
         values[nodes] = values[nodes].mean()

@@ -29,13 +29,27 @@ class RandomizedGossip(AsynchronousGossip):
         Per-node adjacency arrays (a
         :class:`~repro.graphs.rgg.RandomGeometricGraph`'s ``neighbors``, or
         any topology from :mod:`repro.graphs.generators`).
+
+    Attributes
+    ----------
+    failed_exchanges:
+        Exchanges severed by message loss (only on a dynamic substrate).
+    loss_channel:
+        Optional per-hop loss stream
+        (:class:`~repro.dynamics.schedule.LossChannel`): each exchange is
+        a send plus a reply, and a loss on either transmission aborts the
+        exchange with no update, charging the transmissions attempted
+        under ``"near_lost"``.  ``None`` (the default) is lossless.  Set
+        by :class:`~repro.dynamics.overlay.DynamicGossip`.
     """
 
     name = "randomized"
+    loss_channel = None
 
     def __init__(self, neighbors: list[np.ndarray]):
         super().__init__(len(neighbors))
         self.neighbors = neighbors
+        self.failed_exchanges = 0
 
     def tick(
         self,
@@ -48,10 +62,30 @@ class RandomizedGossip(AsynchronousGossip):
         if adjacency.size == 0:
             return  # isolated node: its tick is wasted (cannot occur w.h.p.)
         partner = int(adjacency[rng.integers(adjacency.size)])
+        if not self._exchange_survives(counter):
+            return
         average = 0.5 * (values[node] + values[partner])
         values[node] = average
         values[partner] = average
         counter.charge(2, "near")
+
+    def _exchange_survives(self, counter: TransmissionCounter) -> bool:
+        """Subject one send+reply exchange to the loss channel, if any.
+
+        A lost transmission aborts the exchange before any update: the
+        attempted sends are charged under ``"near_lost"`` and the values
+        stay untouched, conserving the sum.  Without a channel this is a
+        no-op returning ``True`` (the historical lossless path, bit for
+        bit).
+        """
+        if self.loss_channel is None:
+            return True
+        delivered, attempted = self.loss_channel.attempt(2)
+        if delivered:
+            return True
+        counter.charge(attempted, "near_lost")
+        self.failed_exchanges += 1
+        return False
 
     def tick_block(
         self,
@@ -76,6 +110,8 @@ class RandomizedGossip(AsynchronousGossip):
             if adjacency.size == 0:
                 continue  # isolated node: its tick is wasted
             partner = int(adjacency[int(pick * adjacency.size)])
+            if not self._exchange_survives(counter):
+                continue
             average = 0.5 * (values[node] + values[partner])
             values[node] = average
             values[partner] = average

@@ -65,11 +65,31 @@ class CachedGreedyRouter:
         column, a hit routes through an existing column.
     """
 
+    #: Above this many row-repairs (changed rows × cached columns) an
+    #: :meth:`invalidate` call drops the columns instead of patching
+    #: them: one vectorized column rebuild costs about one route walk,
+    #: which beats a wide scalar repair sweep.
+    REPAIR_BUDGET = 20_000
+
     def __init__(self, router: GreedyRouter | RandomGeometricGraph):
         if isinstance(router, RandomGeometricGraph):
             router = GreedyRouter(router)
         self.router = router
         self.graph = router.graph
+        self._nodes = np.arange(self.graph.n, dtype=np.int64)
+        #: target node -> next-hop column (a plain list: per-hop indexing
+        #: is the innermost loop); ``column[u] == u`` marks "the route
+        #: towards this target ends at u" (arrived, or a void).
+        self._columns: dict[int, list[int]] = {}
+        self.hits = 0
+        self.misses = 0
+        #: Number of :meth:`invalidate` calls served (observability for
+        #: the dynamics layer, which invalidates per epoch transition).
+        self.invalidations = 0
+        self._refresh_adjacency()
+
+    def _refresh_adjacency(self) -> None:
+        """Snapshot ``graph.neighbors`` into the flattened reduceat layout."""
         neighbors = self.graph.neighbors
         n = self.graph.n
         degrees = np.array([adj.size for adj in neighbors], dtype=np.int64)
@@ -82,17 +102,15 @@ class CachedGreedyRouter:
         np.cumsum(degrees[:-1], out=offsets[1:])
         self._degrees = degrees
         self._flat = flat
-        #: reduceat demands in-range start indices; empty trailing
-        #: segments are clipped here and masked out by ``_degrees > 0``.
-        self._safe_offsets = np.minimum(offsets, max(flat.size - 1, 0))
+        #: Segment starts for ``reduceat`` over *sentinel-padded* value
+        #: arrays (:meth:`_build_column` appends one pad element).  A
+        #: zero-degree node's offset equals its successor's — clipping it
+        #: into range (the old scheme) would also truncate the *previous*
+        #: node's segment end whenever trailing nodes are isolated, which
+        #: time-varying substrates produce routinely; padding keeps every
+        #: offset valid without moving any segment boundary.
+        self._offsets = offsets
         self._flat_index = np.arange(flat.size, dtype=np.int64)
-        self._nodes = np.arange(n, dtype=np.int64)
-        #: target node -> next-hop column (a plain list: per-hop indexing
-        #: is the innermost loop); ``column[u] == u`` marks "the route
-        #: towards this target ends at u" (arrived, or a void).
-        self._columns: dict[int, list[int]] = {}
-        self.hits = 0
-        self.misses = 0
 
     def __len__(self) -> int:
         """Number of cached next-hop columns (distinct targets seen)."""
@@ -150,6 +168,73 @@ class CachedGreedyRouter:
         )
         return forward, backward
 
+    def invalidate(self, nodes: "list[int] | None" = None) -> int:
+        """React to an adjacency change without rebuilding the whole cache.
+
+        Parameters
+        ----------
+        nodes:
+            The nodes whose adjacency arrays changed (a time-varying
+            substrate masking crashed nodes or failed links), or ``None``
+            for "anything may have changed, positions included" — e.g.
+            after a mobility rebuild.
+
+        With ``nodes=None`` every cached column is dropped.  With an
+        explicit node list the flattened adjacency snapshot is refreshed
+        and each cached column is *repaired in place* at exactly those
+        rows: a column entry at an unchanged node is still the correct
+        greedy next hop (the decision depends only on that node's own
+        adjacency and the fixed positions), so only the changed rows need
+        recomputing — O(|nodes| · degree) per cached target instead of a
+        full column rebuild.  Repaired columns stay bit-identical to
+        freshly built ones (tested).
+
+        Repair is a scalar loop, so when the change is *wide* (many rows
+        × many cached columns — e.g. heavy churn epochs) dropping the
+        columns and letting the vectorized builder repopulate them on
+        demand is cheaper; past :data:`REPAIR_BUDGET` row-repairs the
+        call does exactly that.  Either way the observable routing
+        behaviour is identical — dropping is always safe.
+
+        Returns the number of columns dropped or repaired.
+        """
+        self.invalidations += 1
+        self._refresh_adjacency()
+        if nodes is not None:
+            rows = [int(node) for node in nodes]
+            if not rows or not self._columns:
+                return 0
+            if len(rows) * len(self._columns) > self.REPAIR_BUDGET:
+                nodes = None
+        if nodes is None:
+            dropped = len(self._columns)
+            self._columns.clear()
+            return dropped
+        positions = self.router._positions
+        for target_node, column in self._columns.items():
+            target = positions[target_node]
+            for u in rows:
+                column[u] = self._next_hop(u, target)
+        return len(self._columns)
+
+    def _next_hop(self, u: int, target: np.ndarray) -> int:
+        """The scalar greedy next-hop rule, matching the column semantics.
+
+        Delegates to the router's own step primitives
+        (``GreedyRouter._closest_neighbor`` / ``_squared_distance``) so
+        the scalar greedy step has exactly one implementation — the same
+        elementwise IEEE arithmetic and first-minimum tie-breaking that
+        :meth:`_build_column` vectorizes.  A node with no strictly
+        closer neighbour (or no neighbours at all) maps to itself.
+        """
+        step = self.router._closest_neighbor(u, target)
+        if step is None:
+            return u
+        best, best_sq = step
+        if best_sq < self.router._squared_distance(u, target):
+            return best
+        return u
+
     def _build_column(self, target_node: int) -> np.ndarray:
         """Every node's greedy next hop towards ``target_node``, vectorized.
 
@@ -164,15 +249,22 @@ class CachedGreedyRouter:
         dist_sq = diff[:, 0] ** 2 + diff[:, 1] ** 2
         if self._flat.size == 0:
             return self._nodes.copy()
-        neighbor_sq = dist_sq[self._flat]
-        segment_min = np.minimum.reduceat(neighbor_sq, self._safe_offsets)
+        # One sentinel pad keeps every offset (including those of empty
+        # trailing segments, which equal flat.size) a valid reduceat
+        # index; padded slots only ever land in zero-degree segments,
+        # which ``_degrees > 0`` masks out below.
+        neighbor_sq = np.append(dist_sq[self._flat], np.inf)
+        segment_min = np.minimum.reduceat(neighbor_sq, self._offsets)
         # First index attaining the per-segment minimum == np.argmin.
-        masked_index = np.where(
-            neighbor_sq == np.repeat(segment_min, self._degrees),
-            self._flat_index,
+        masked_index = np.append(
+            np.where(
+                neighbor_sq[:-1] == np.repeat(segment_min, self._degrees),
+                self._flat_index,
+                self._flat.size,
+            ),
             self._flat.size,
         )
-        first_index = np.minimum.reduceat(masked_index, self._safe_offsets)
+        first_index = np.minimum.reduceat(masked_index, self._offsets)
         best_neighbor = self._flat[np.minimum(first_index, self._flat.size - 1)]
         progress = (self._degrees > 0) & (segment_min < dist_sq)
         return np.where(progress, best_neighbor, self._nodes)

@@ -52,6 +52,49 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--algorithm", "telepathy"])
 
+    def test_fault_flag_defaults(self):
+        for command in ("run", "sweep"):
+            args = build_parser().parse_args([command])
+            assert args.faults == "none"
+            assert args.churn_rate is None
+            assert args.loss_prob is None
+
+    def test_faults_with_incompatible_defaults_exit_cleanly(self, capsys):
+        # The sweep default algorithm set includes round-based
+        # `hierarchical`; combining it with --faults must be a clean
+        # usage error (exit 2), not a traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--sizes", "48", "--trials", "1", "--faults", "lossy"])
+        assert excinfo.value.code == 2
+        assert "hierarchical" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "run", "--algorithm", "hierarchical",
+                    "--n", "48", "--faults", "lossy",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "hierarchical" in capsys.readouterr().err
+
+    def test_malformed_fault_spec_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--n", "48", "--faults", "telepathy=1"])
+        assert excinfo.value.code == 2
+        assert "telepathy" in capsys.readouterr().err
+
+    def test_fault_flag_composition(self):
+        from repro.cli import _fault_spec
+
+        args = build_parser().parse_args(
+            ["run", "--faults", "lossy", "--churn-rate", "0.1"]
+        )
+        spec = _fault_spec(args)
+        assert spec.loss_prob == 0.05  # from the preset
+        assert spec.churn_rate == 0.1  # from the override
+        args = build_parser().parse_args(["sweep", "--loss-prob", "0.2"])
+        assert _fault_spec(args).loss_prob == 0.2
+
     def test_topology_flag(self):
         assert build_parser().parse_args(["run"]).topology == "rgg"
         assert build_parser().parse_args(["sweep"]).topology == "rgg"
@@ -114,6 +157,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "log-log slope" in out
+
+    def test_run_with_faults_reports_metrics(self, capsys):
+        code = main(
+            [
+                "run",
+                "--algorithm", "geographic",
+                "--n", "64",
+                "--epsilon", "0.3",
+                "--check-stride", "2",
+                "--faults", "churn=0.05,loss=0.05,epoch=64",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)  # faulted runs may legitimately not converge
+        assert "faults" in out
+        assert "live_node_error" in out
+        assert "aborted_routes" in out
+
+    def test_sweep_with_faults(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--sizes", "48,64",
+                "--epsilon", "0.3",
+                "--trials", "1",
+                "--algorithms", "randomized",
+                "--check-stride", "2",
+                "--loss-prob", "0.05",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults 'loss=0.05'" in out
 
     def test_sweep_with_engine_store_and_resume(self, capsys, tmp_path):
         argv = [

@@ -58,6 +58,10 @@ class TestApiReference:
         assert "tick_block" in gossip
         graphs = (out / "repro-graphs.md").read_text(encoding="utf-8")
         assert "build_topology" in graphs
+        dynamics = (out / "repro-dynamics.md").read_text(encoding="utf-8")
+        assert "DynamicSubstrate" in dynamics
+        assert "FaultSpec" in dynamics
+        assert "LossChannel" in dynamics
         assert "watts_strogatz_graph" in graphs
 
     def test_classmethods_and_properties_rendered(self, generated):

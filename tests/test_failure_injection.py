@@ -4,6 +4,11 @@ The paper assumes the w.h.p. regime (connected graph, no routing voids,
 occupancy concentration).  A production library must also behave sanely
 when those assumptions break: conserve mass, report non-convergence
 instead of hanging, and keep accounting consistent.
+
+Two kinds of degradation are covered: *static* pathologies (disconnected
+graphs, empty hierarchy squares — the historical cases below) and
+*dynamic* ones driven through :mod:`repro.dynamics` — nodes crashing mid
+run, recovering, and the surviving population still converging.
 """
 
 import numpy as np
@@ -15,7 +20,10 @@ from repro import (
     RandomizedGossip,
     RandomGeometricGraph,
 )
+from repro.dynamics import DynamicGossip, DynamicSubstrate, FaultSpec, live_node_error
+from repro.engine.batching import run_batched
 from repro.gossip.hierarchical import RoundConfig
+from repro.gossip.path_averaging import PathAveragingGossip
 from repro.hierarchy import HierarchyTree
 from repro.routing import GreedyRouter, RejectionSampler
 
@@ -104,6 +112,92 @@ class TestHierarchicalDegradation:
         values = rng.normal(size=40)
         result = algo.run(values, epsilon=0.4, rng=np.random.default_rng(9))
         assert result.values.sum() == pytest.approx(values.sum(), abs=1e-9)
+
+
+class TestDynamicChurn:
+    """Crash mid-run, recover, converge on survivors — the dynamic cases."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return RandomGeometricGraph.sample_connected(
+            64, np.random.default_rng(283), radius_constant=3.0
+        )
+
+    @pytest.fixture(scope="class")
+    def values(self, graph):
+        return np.random.default_rng(293).normal(size=graph.n)
+
+    def test_crash_then_recover_converges_globally(self, graph, values):
+        """With full recovery the whole population still reaches ε."""
+        spec = FaultSpec(churn_rate=0.2, recover_rate=0.9, epoch_ticks=128)
+        substrate = DynamicSubstrate(graph, spec, seed=31)
+        dynamic = DynamicGossip(
+            RandomizedGossip(substrate.neighbors), substrate
+        )
+        result = run_batched(
+            dynamic, values, 0.1, np.random.default_rng(3), check_stride=4
+        )
+        assert substrate.crashes > 0 and substrate.recoveries > 0
+        assert result.converged
+        assert result.values.sum() == pytest.approx(values.sum(), abs=1e-9)
+
+    def test_permanent_crashes_converge_on_survivors(self, graph, values):
+        """No recovery: global error stalls but the live population agrees."""
+        spec = FaultSpec(
+            churn_rate=0.3,
+            recover_rate=0.0,
+            epoch_ticks=256,
+            min_live_fraction=0.6,
+        )
+        substrate = DynamicSubstrate(graph, spec, seed=31)
+        dynamic = DynamicGossip(
+            RandomizedGossip(substrate.neighbors), substrate
+        )
+        result = run_batched(
+            dynamic,
+            values,
+            0.01,
+            np.random.default_rng(3),
+            check_stride=4,
+            max_ticks=60_000,
+        )
+        live = substrate.live
+        assert (~live).any(), "permanent churn should leave crashed nodes"
+        # Total mass (live + frozen) is invariant ...
+        assert result.values.sum() == pytest.approx(values.sum(), abs=1e-9)
+        # ... the survivors agree among themselves ...
+        assert result.values[live].std() < 1e-3
+        assert live_node_error(result.values, values, live) < 0.01
+        # ... while the stale frozen values keep the *global* criterion out
+        # of reach (the oracular error includes the dead).
+        assert not result.converged
+
+    def test_routed_protocol_survives_churn_and_loss(self, graph, values):
+        """Routes sever mid-transaction; accounting stays consistent."""
+        spec = FaultSpec(
+            churn_rate=0.1,
+            recover_rate=0.4,
+            link_failure_rate=0.1,
+            loss_prob=0.1,
+            epoch_ticks=128,
+        )
+        substrate = DynamicSubstrate(graph, spec, seed=31)
+        dynamic = DynamicGossip(PathAveragingGossip(substrate), substrate)
+        result = run_batched(
+            dynamic,
+            values,
+            0.15,
+            np.random.default_rng(3),
+            check_stride=4,
+            max_ticks=20_000,
+        )
+        assert dynamic.aborted_routes > 0
+        assert result.values.sum() == pytest.approx(values.sum(), abs=1e-8)
+        categories = {
+            k: v for k, v in result.transmissions.items() if k != "total"
+        }
+        assert sum(categories.values()) == result.total_transmissions
+        assert result.transmissions.get("route_lost", 0) > 0
 
 
 class TestRoutingDegradation:

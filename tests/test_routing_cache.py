@@ -100,3 +100,74 @@ class TestCacheBehaviour:
 
     def test_hit_rate_defined_before_any_route(self, graph):
         assert CachedGreedyRouter(graph).hit_rate == 0.0
+
+
+class TestInvalidate:
+    """The adjacency-change API the dynamics layer drives per epoch."""
+
+    def _mutable_graph(self):
+        rng = np.random.default_rng(23)
+        return RandomGeometricGraph.sample_connected(
+            60, rng, radius_constant=3.0
+        )
+
+    @staticmethod
+    def _crash(graph, node):
+        """Mask ``node`` out of the adjacency in place; returns changed rows."""
+        changed = [node] + [int(v) for v in graph.neighbors[node]]
+        for v in graph.neighbors[node]:
+            adj = graph.neighbors[int(v)]
+            graph.neighbors[int(v)] = adj[adj != node]
+        graph.neighbors[node] = np.empty(0, dtype=np.int64)
+        return changed
+
+    def test_patched_columns_match_fresh_builds(self):
+        graph = self._mutable_graph()
+        cached = CachedGreedyRouter(graph)
+        targets = [0, 17, 41, 59]
+        for target in targets:
+            cached.route_to_node(3, target)
+        changed = self._crash(graph, 29)
+        assert cached.invalidate(changed) == len(targets)
+        fresh = CachedGreedyRouter(graph)
+        rng = np.random.default_rng(29)
+        for target in targets:
+            for source in rng.integers(graph.n, size=20):
+                got = cached.route_to_node(int(source), target)
+                expected = fresh.route_to_node(int(source), target)
+                assert got.path == expected.path
+                assert got.delivered == expected.delivered
+
+    def test_invalidate_none_drops_every_column(self):
+        graph = self._mutable_graph()
+        cached = CachedGreedyRouter(graph)
+        cached.route_to_node(0, 10)
+        cached.route_to_node(0, 20)
+        assert len(cached) == 2
+        assert cached.invalidate(None) == 2
+        assert len(cached) == 0
+        assert cached.invalidations == 1
+        # Routing afterwards rebuilds from the current adjacency.
+        self._crash(graph, 10)
+        cached.invalidate(None)
+        route = cached.route_to_node(0, 10)
+        assert not route.delivered  # node 10 is unreachable now
+
+    def test_invalidate_with_no_columns_is_cheap_and_safe(self):
+        graph = self._mutable_graph()
+        cached = CachedGreedyRouter(graph)
+        assert cached.invalidate([1, 2, 3]) == 0
+        assert cached.invalidate([]) == 0
+
+    def test_routes_never_enter_a_masked_node(self):
+        graph = self._mutable_graph()
+        cached = CachedGreedyRouter(graph)
+        # Populate a column that (likely) routes through the middle.
+        for source in range(0, graph.n, 5):
+            cached.route_to_node(source, 59)
+        victim = int(cached.route_to_node(0, 59).path[1])
+        changed = self._crash(graph, victim)
+        cached.invalidate(changed)
+        for source in range(graph.n):
+            path = cached.route_to_node(source, 59).path
+            assert victim not in path[1:], (source, path)
