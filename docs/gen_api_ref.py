@@ -8,7 +8,8 @@ The CI docs job runs this before ``mkdocs build --strict``.
 
 The generator doubles as the documentation linter: every public symbol
 of the **strict packages** (``repro.gossip``, ``repro.engine``,
-``repro.dynamics``, ``repro.routing``) must carry a docstring, or the
+``repro.dynamics``, ``repro.routing``, ``repro.metrics``,
+``repro.workloads``) must carry a docstring, or the
 build fails — the
 acceptance bar "every gossip/ and engine/ public symbol has a docstring
 rendered in the API reference" is enforced here (and re-checked by
@@ -49,6 +50,8 @@ STRICT_PACKAGES = (
     "repro.engine",
     "repro.dynamics",
     "repro.routing",
+    "repro.metrics",
+    "repro.workloads",
 )
 
 

@@ -48,8 +48,9 @@ from repro.graphs.generators import (
 )
 from repro.graphs.rgg import RandomGeometricGraph
 from repro.hierarchy.tree import HierarchyTree
+from repro.metrics.error import primary_field
 from repro.viz import render_field, render_hierarchy
-from repro.workloads.fields import FIELD_GENERATORS
+from repro.workloads.fields import FIELD_GENERATORS, WORKLOADS, build_field_matrix
 
 __all__ = ["main", "build_parser"]
 
@@ -63,6 +64,26 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _add_multifield_flags(parser: argparse.ArgumentParser) -> None:
+    """The multi-field flags shared by ``run`` and ``sweep``."""
+    parser.add_argument(
+        "--fields",
+        type=_positive_int,
+        default=1,
+        help="number of stacked fields per node (1 = the scalar engine, "
+        "bit for bit; k > 1 runs an (n, k) matrix through one gossip "
+        "pass — see docs/workloads.md)",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=sorted(WORKLOADS),
+        default="ensemble",
+        help="stacking scheme for --fields > 1: independent 'ensemble' "
+        "draws of --field, or 'quantile'/'histogram' indicator stacks "
+        "over it",
+    )
 
 
 def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
@@ -164,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="engine error-check stride (1 = legacy bit-identical loop)",
     )
+    _add_multifield_flags(run)
     _add_fault_flags(run)
 
     sweep = sub.add_parser("sweep", help="scaling sweep (experiment E7)")
@@ -206,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --store-dir: reuse already-finished cells instead of "
         "starting fresh",
     )
+    _add_multifield_flags(sweep)
     _add_fault_flags(sweep)
 
     inspect = sub.add_parser("inspect", help="build and display a hierarchy")
@@ -224,10 +247,15 @@ def _command_run(args: argparse.Namespace) -> int:
         ),
     )
     field_rng = spawn_rng(args.seed, "cli-field", args.field)
-    values = FIELD_GENERATORS[args.field](graph.positions, field_rng)
+    if args.fields == 1:
+        values = FIELD_GENERATORS[args.field](graph.positions, field_rng)
+    else:
+        values = build_field_matrix(
+            args.workload, args.field, graph.positions, field_rng, args.fields
+        )
     if args.show_field:
         print("initial field:")
-        print(render_field(graph.positions, values))
+        print(render_field(graph.positions, primary_field(values)))
     spec = _fault_spec(args)
     _reject_fault_incompatible(spec, [args.algorithm])
     if spec.enabled:
@@ -246,6 +274,12 @@ def _command_run(args: argparse.Namespace) -> int:
         spawn_rng(args.seed, "cli-run", args.algorithm),
         check_stride=args.check_stride,
     )
+    field_rows = []
+    if result.column_errors is not None:
+        field_rows = [["fields", f"{args.fields} ({args.workload})"]] + [
+            [f"  field {index} error", error]
+            for index, error in enumerate(result.column_errors)
+        ]
     fault_rows = []
     if spec.enabled:
         fault_rows = [["faults", spec.canonical()]] + [
@@ -271,6 +305,7 @@ def _command_run(args: argparse.Namespace) -> int:
                     for cat, count in sorted(result.transmissions.items())
                     if cat != "total"
                 ],
+                *field_rows,
                 *fault_rows,
             ],
             title=f"run to ε={args.epsilon} on a '{args.field}' field",
@@ -278,7 +313,7 @@ def _command_run(args: argparse.Namespace) -> int:
     )
     if args.show_field:
         print("\nfinal field:")
-        print(render_field(graph.positions, result.values))
+        print(render_field(graph.positions, primary_field(result.values)))
     return 0 if result.converged else 1
 
 
@@ -297,6 +332,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
             algorithms=algorithms,
             topology=args.topology,
             faults=spec.canonical(),
+            fields=args.fields,
+            workload=args.workload,
         )
     except ValueError as error:
         _usage_error(str(error))
@@ -333,6 +370,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
             title=(
                 f"mean transmissions to ε={args.epsilon} on "
                 f"'{args.topology}' ({args.trials} trials)"
+                + (
+                    f", {config.fields} '{config.workload}' fields"
+                    if config.fields > 1
+                    else ""
+                )
                 + (
                     f", faults '{config.faults}'"
                     if config.fault_spec().enabled

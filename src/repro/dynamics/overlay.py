@@ -60,7 +60,7 @@ import numpy as np
 from repro.dynamics.schedule import FaultSchedule, FaultSpec, LossChannel
 from repro.gossip.base import AsynchronousGossip
 from repro.graphs.rgg import RandomGeometricGraph
-from repro.metrics.error import deviation_norm
+from repro.metrics.error import deviation_norm, primary_field
 from repro.routing.cache import CachedGreedyRouter
 from repro.routing.cost import TransmissionCounter
 from repro.routing.greedy import RouteResult
@@ -84,14 +84,19 @@ def live_node_error(
     charge against the run forever.  The denominator stays the full
     initial deviation (the paper's ``‖x(0)‖``) so the metric is
     comparable with the oracular error the engine records.
+
+    ``(n, k)`` field matrices reduce to the primary field (column 0,
+    like the engine's oracular error) rather than silently flattening a
+    matrix into one norm across mixed columns.
     """
     live = np.asarray(live, dtype=bool)
     if not live.any():
         return 0.0
-    initial_norm = deviation_norm(np.asarray(initial_values, dtype=np.float64))
+    initial = primary_field(np.asarray(initial_values, dtype=np.float64))
+    initial_norm = deviation_norm(initial)
     if initial_norm == 0.0:
         return 0.0
-    alive = np.asarray(values, dtype=np.float64)[live]
+    alive = primary_field(np.asarray(values, dtype=np.float64))[live]
     return deviation_norm(alive) / initial_norm
 
 
@@ -494,6 +499,15 @@ class DynamicGossip(AsynchronousGossip):
         self.requires_centered_field = getattr(
             inner, "requires_centered_field", False
         )
+        # Epoch masking and loss channels never read the values, so the
+        # wrapper is exactly as multi-field-capable as the protocol it
+        # wraps (the engine's per-column fallback cannot rerun a wrapper
+        # whose epoch clock already advanced, so inner protocols without
+        # multi-field support stay scalar-only under dynamics).
+        self.supports_multifield = getattr(inner, "supports_multifield", False)
+        #: The epoch clock and loss streams advance across runs, so a
+        #: rerun would replay columns on a spent fault timeline.
+        self.multifield_fallback_safe = False
         self.wasted_ticks = 0
         self._tick = 0
         channel = substrate.channel

@@ -26,9 +26,11 @@ benchmarks route through them, so every experiment inherits the engine.
 
 from repro.engine.batching import (
     DEFAULT_BLOCK_SIZE,
+    MultiFieldFallbackWarning,
     ScalarFallbackWarning,
     UncenteredFieldWarning,
     batching_capability,
+    multifield_capability,
     run_batched,
     split_streams,
 )
@@ -47,6 +49,7 @@ from repro.engine.store import ResultStore, content_key
 __all__ = [
     "CellRecord",
     "DEFAULT_BLOCK_SIZE",
+    "MultiFieldFallbackWarning",
     "ResultStore",
     "ScalarFallbackWarning",
     "SweepCell",
@@ -58,6 +61,7 @@ __all__ = [
     "content_key",
     "execute_cell",
     "expand_grid",
+    "multifield_capability",
     "run_batched",
     "run_sweep_records",
     "split_streams",

@@ -36,16 +36,22 @@ import warnings
 
 import numpy as np
 
-from repro.gossip.base import AsynchronousGossip, GossipRunResult
-from repro.metrics.error import normalized_error
+from repro.gossip.base import (
+    AsynchronousGossip,
+    GossipRunResult,
+    check_state_shape,
+)
+from repro.metrics.error import normalized_error, result_column_errors
 from repro.metrics.trace import ConvergenceTrace
 from repro.routing.cost import TransmissionCounter
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
+    "MultiFieldFallbackWarning",
     "ScalarFallbackWarning",
     "UncenteredFieldWarning",
     "batching_capability",
+    "multifield_capability",
     "run_batched",
     "split_streams",
 ]
@@ -73,6 +79,27 @@ class ScalarFallbackWarning(UserWarning):
     """
 
 
+class MultiFieldFallbackWarning(UserWarning):
+    """An ``(n, k)`` run hit the per-column scalar fallback.
+
+    The protocol does not declare
+    :attr:`~repro.gossip.base.AsynchronousGossip.supports_multifield`,
+    so the engine cannot hand it a field matrix: an unaudited ``tick``
+    may hold scalar assumptions (flattening reductions, row-view
+    aliasing) that broadcast silently instead of failing.  The run is
+    still correct — the engine executes ``k`` independent scalar passes,
+    column 0 on the caller's RNG (bit-identical to a plain scalar run)
+    and each secondary column on its own spawned child stream — but all
+    routing/sampling amortization is lost: the work is exactly the
+    ``k`` serial runs the multi-field engine exists to replace.
+
+    The warning message points at ``docs/workloads.md`` (the audit
+    checklist a ``tick`` must pass before declaring support) and at
+    :func:`repro.experiments.config.multifield_support`, which reports
+    every registered protocol's capability without running anything.
+    """
+
+
 class UncenteredFieldWarning(UserWarning):
     """A mean-sensitive protocol was handed an uncentred initial field.
 
@@ -95,22 +122,34 @@ def _warn_if_uncentered(
     factor away), so only an offset within an order of magnitude of the
     ε target predicts a stall — tiny incidental means (every float field
     has one) converge fine and must not warn.
+
+    Multi-field matrices are audited column by column (each column is an
+    independent consensus problem); the first offending column is named.
     """
     if not getattr(algorithm, "requires_centered_field", False):
         return
-    deviation = float(np.linalg.norm(initial_values - initial_values.mean()))
-    offset = abs(float(initial_values.mean())) * np.sqrt(len(initial_values))
-    if offset > 0.1 * epsilon * max(deviation, 1e-300):
-        warnings.warn(
-            f"{algorithm.name!r} assumes a mean-zero field (the paper's "
-            f"WLOG x̄(0) = 0) but the initial values have mean "
-            f"{float(initial_values.mean()):.3g}, large relative to the "
-            f"eps={epsilon} target; the run is likely to stall at a "
-            "deviation floor instead of converging — centre the field "
-            "first (values - values.mean())",
-            UncenteredFieldWarning,
-            stacklevel=3,
-        )
+    matrix = initial_values if initial_values.ndim == 2 else initial_values[:, None]
+    for column_index in range(matrix.shape[1]):
+        column = matrix[:, column_index]
+        deviation = float(np.linalg.norm(column - column.mean()))
+        offset = abs(float(column.mean())) * np.sqrt(len(column))
+        if offset > 0.1 * epsilon * max(deviation, 1e-300):
+            where = (
+                ""
+                if initial_values.ndim == 1
+                else f" (field column {column_index})"
+            )
+            warnings.warn(
+                f"{algorithm.name!r} assumes a mean-zero field (the paper's "
+                f"WLOG x̄(0) = 0) but the initial values{where} have mean "
+                f"{float(column.mean()):.3g}, large relative to the "
+                f"eps={epsilon} target; the run is likely to stall at a "
+                "deviation floor instead of converging — centre the field "
+                "first (values - values.mean())",
+                UncenteredFieldWarning,
+                stacklevel=3,
+            )
+            return
 
 
 def batching_capability(algorithm: AsynchronousGossip | type) -> str:
@@ -137,6 +176,28 @@ def batching_capability(algorithm: AsynchronousGossip | type) -> str:
     if cls.tick_block is AsynchronousGossip.tick_block:
         return "scalar"
     return "block"
+
+
+def multifield_capability(algorithm) -> str:
+    """How ``algorithm`` executes an ``(n, k)`` field matrix.
+
+    Returns ``"native"`` when the protocol declares
+    :attr:`~repro.gossip.base.AsynchronousGossip.supports_multifield`
+    (one pass mixes all ``k`` columns on shared routing/sampling), or
+    ``"per-column"`` when the engine would fall back to ``k`` serial
+    scalar passes with a :class:`MultiFieldFallbackWarning`.
+
+    >>> from repro.gossip.randomized import RandomizedGossip
+    >>> multifield_capability(RandomizedGossip)
+    'native'
+    """
+    # getattr on the instance, not its type: DynamicGossip propagates the
+    # wrapped protocol's capability as an instance attribute.
+    return (
+        "native"
+        if getattr(algorithm, "supports_multifield", False)
+        else "per-column"
+    )
 
 
 def split_streams(
@@ -172,7 +233,14 @@ def run_batched(
         ``run(initial_values, epsilon, rng, trace_thinning=...)`` surface —
         the latter runs its native executor at every stride.
     initial_values:
-        One value per node; the run works on a copy.
+        One value per node (shape ``(n,)``), or an ``(n, k)`` matrix of
+        ``k`` stacked fields.  Multi-field state shares every owner
+        draw, target pick, and route across all columns; the stopping
+        rule tracks the primary field (column 0), which stays
+        bit-identical to the scalar run on the same seed.  Protocols
+        without :attr:`~repro.gossip.base.AsynchronousGossip.supports_multifield`
+        fall back to per-column scalar passes with a
+        :class:`MultiFieldFallbackWarning`.
     epsilon:
         Target normalized error (the paper's ε).
     rng:
@@ -193,10 +261,64 @@ def run_batched(
         raise ValueError(f"check_stride must be >= 1, got {check_stride}")
     if block_size < 1:
         raise ValueError(f"block_size must be >= 1, got {block_size}")
-    if epsilon > 0:
-        _warn_if_uncentered(
-            algorithm, np.asarray(initial_values, dtype=np.float64), epsilon
+    initial_values = np.asarray(initial_values, dtype=np.float64)
+    if (
+        initial_values.ndim == 2
+        and multifield_capability(algorithm) != "native"
+    ):
+        if not getattr(algorithm, "multifield_fallback_safe", True):
+            # A protocol carrying state across runs (a DynamicGossip
+            # wrapper: its epoch clock and loss streams advance) cannot
+            # be rerun per column — columns 1..k-1 would replay on a
+            # spent fault timeline with no error raised.
+            raise TypeError(
+                f"{getattr(algorithm, 'name', type(algorithm).__name__)!r} "
+                "declares multifield_fallback_safe=False (its state "
+                "advances across runs), so the per-column multi-field "
+                "fallback cannot rerun it for each field column; wrap a "
+                "protocol that declares supports_multifield (every "
+                "tick-driven registered protocol does) or pass scalar "
+                "(n,) state"
+            )
+        name = getattr(algorithm, "name", type(algorithm).__name__)
+        columns = initial_values.shape[1]
+        reason = getattr(algorithm, "multifield_fallback_reason", None)
+        if reason is not None:
+            # Declared per-column by design (e.g. hierarchical): advising
+            # the user to flip supports_multifield would be harmful.
+            message = (
+                f"{name!r} runs multi-field state per column by design "
+                f"({reason}): its {columns} field columns execute as "
+                "independent scalar passes — correct results at the "
+                "serial cost, with no cross-field amortization (see "
+                "docs/workloads.md)"
+            )
+        else:
+            message = (
+                f"{name!r} does not declare supports_multifield: the "
+                f"engine is running its {columns} field columns as "
+                "independent scalar passes (column 0 on the caller's "
+                "RNG, secondaries on spawned child streams), so routing "
+                "and owner sampling are not amortized across fields — "
+                "audit tick/tick_block against the multi-field checklist "
+                "in docs/workloads.md and declare supports_multifield = "
+                "True for the single-pass fast path; "
+                "repro.experiments.config.multifield_support reports "
+                "every registered protocol's capability"
+            )
+        warnings.warn(message, MultiFieldFallbackWarning, stacklevel=2)
+        return _run_per_column(
+            algorithm,
+            initial_values,
+            epsilon,
+            rng,
+            check_stride=check_stride,
+            max_ticks=max_ticks,
+            block_size=block_size,
+            trace_thinning=trace_thinning,
         )
+    if epsilon > 0:
+        _warn_if_uncentered(algorithm, initial_values, epsilon)
     if not isinstance(algorithm, AsynchronousGossip):
         # Round-based protocols (e.g. the hierarchical executor) have no
         # global tick loop to batch or stride; they run their native
@@ -229,12 +351,7 @@ def run_batched(
         )
 
     n = algorithm.n
-    initial_values = np.asarray(initial_values, dtype=np.float64)
-    if initial_values.shape != (n,):
-        raise ValueError(
-            f"need one value per node: expected shape ({n},), "
-            f"got {initial_values.shape}"
-        )
+    initial_values = check_state_shape(initial_values, n)
     if epsilon <= 0:
         raise ValueError(f"epsilon must be positive, got {epsilon}")
 
@@ -274,4 +391,77 @@ def run_batched(
         epsilon=epsilon,
         error=error,
         trace=trace,
+        column_errors=result_column_errors(values, initial_values),
+    )
+
+
+def _run_per_column(
+    algorithm,
+    initial_values: np.ndarray,
+    epsilon: float,
+    rng: np.random.Generator,
+    **kwargs,
+) -> GossipRunResult:
+    """The multi-field fallback: ``k`` independent scalar passes.
+
+    Column 0 consumes the caller's generator exactly as a plain scalar
+    run would (``Generator.spawn`` derives children from the seed
+    sequence without advancing the stream), preserving the column-0
+    bit-identity contract; each secondary column runs on its own spawned
+    child, so its routing realization is independent — the semantics of
+    the serial-sweep baseline the native multi-field path amortizes
+    away.  Reuses the protocol instance across columns, which requires
+    the protocol to be rerunnable from fresh initial values (every
+    tick-driven protocol in this library is).  Protocols declaring
+    ``multifield_fallback_safe = False`` — a
+    :class:`~repro.dynamics.overlay.DynamicGossip` wrapping an inner
+    protocol without multi-field support — are rejected with a
+    :class:`TypeError` before this path, because rerunning them would
+    replay columns 1..k-1 on a spent fault timeline.
+
+    Ticks and transmissions accumulate across columns (the true serial
+    cost); the trace and the scalar ``error`` are column 0's, and the
+    per-column final errors land in ``column_errors``.
+    """
+    fields = initial_values.shape[1]
+    runs = [
+        run_batched(
+            algorithm,
+            np.ascontiguousarray(initial_values[:, 0]),
+            epsilon,
+            rng,
+            **kwargs,
+        )
+    ]
+    # Children are spawned only *after* column 0's run: a strided run
+    # spawns its own (owner, protocol) children from ``rng``, and those
+    # must get the same spawn indices a plain scalar run would hand them
+    # for column 0 to stay bit-identical at every stride.
+    children = rng.spawn(fields - 1) if fields > 1 else []
+    for column_index, child in enumerate(children, start=1):
+        runs.append(
+            run_batched(
+                algorithm,
+                np.ascontiguousarray(initial_values[:, column_index]),
+                epsilon,
+                child,
+                **kwargs,
+            )
+        )
+    counter = TransmissionCounter()
+    for run in runs:
+        for category, amount in run.transmissions.items():
+            if category != "total":
+                counter.charge(amount, category)
+    return GossipRunResult(
+        algorithm=runs[0].algorithm,
+        values=np.column_stack([run.values for run in runs]),
+        initial_values=initial_values,
+        transmissions=counter.snapshot(),
+        ticks=sum(run.ticks for run in runs),
+        converged=all(run.converged for run in runs),
+        epsilon=epsilon,
+        error=runs[0].error,
+        trace=runs[0].trace,
+        column_errors=np.array([run.error for run in runs]),
     )

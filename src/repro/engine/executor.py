@@ -24,7 +24,7 @@ from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.engine.batching import run_batched
-from repro.workloads.fields import FIELD_GENERATORS
+from repro.workloads.fields import FIELD_GENERATORS, build_field_matrix
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a layer cycle
     from repro.engine.store import ResultStore
@@ -74,6 +74,12 @@ class CellRecord:
     error); it is ``None`` for fault-free cells, and absent from their
     serialized form, so stores written before the dynamics subsystem
     existed load unchanged.
+
+    ``field_errors`` is the per-column final normalized error of a
+    multi-field cell (``field_errors[0] == error``, the primary field);
+    it is ``None`` for scalar cells and absent from their serialized
+    form, so stores written before the multi-field engine existed load
+    unchanged — the same back-compat rule ``faults`` follows.
     """
 
     algorithm: str
@@ -85,6 +91,7 @@ class CellRecord:
     converged: bool
     error: float
     faults: Mapping[str, float] | None = None
+    field_errors: tuple[float, ...] | None = None
 
     @property
     def key(self) -> CellKey:
@@ -101,11 +108,16 @@ class CellRecord:
             del payload["faults"]
         else:
             payload["faults"] = dict(self.faults)
+        if self.field_errors is None:
+            del payload["field_errors"]
+        else:
+            payload["field_errors"] = list(self.field_errors)
         return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "CellRecord":
         faults = payload.get("faults")
+        field_errors = payload.get("field_errors")
         return cls(
             algorithm=str(payload["algorithm"]),
             n=int(payload["n"]),
@@ -121,6 +133,11 @@ class CellRecord:
                 None
                 if faults is None
                 else {str(k): float(v) for k, v in faults.items()}
+            ),
+            field_errors=(
+                None
+                if field_errors is None
+                else tuple(float(v) for v in field_errors)
             ),
         )
 
@@ -153,7 +170,21 @@ def build_instance(config: ExperimentConfig, n: int, trial: int):
         config.topology, n, graph_rng, radius_constant=config.radius_constant
     )
     field_rng = spawn_rng(config.root_seed, "field", config.field, n, trial)
-    values = FIELD_GENERATORS[config.field](graph.positions, field_rng)
+    if config.fields == 1:
+        # The historical scalar path, stream for stream: fields=1 cells
+        # are bit-identical to every pre-multi-field engine version.
+        values = FIELD_GENERATORS[config.field](graph.positions, field_rng)
+    else:
+        # Multi-field cells share the field stream's *prefix*: every
+        # workload builder draws the base scalar field first into column
+        # 0, so column 0 equals the fields=1 cell's values bit for bit.
+        values = build_field_matrix(
+            config.workload,
+            config.field,
+            graph.positions,
+            field_rng,
+            config.fields,
+        )
     return graph, values
 
 
@@ -243,6 +274,11 @@ def execute_cell(
             None
             if fault_metrics is None
             else fault_metrics(result.values, result.initial_values)
+        ),
+        field_errors=(
+            None
+            if result.column_errors is None
+            else tuple(float(v) for v in result.column_errors)
         ),
     )
 

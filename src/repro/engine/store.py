@@ -20,7 +20,8 @@ run killed mid-write leaves at most one truncated trailing line, which
 parse.  A skipped line simply means that cell gets recomputed.
 
 ``config.json`` additionally records each protocol's engine batching
-capability (``"block"`` / ``"scalar"`` / ``"rounds"``) at the time the
+capability (``"block"`` / ``"scalar"`` / ``"rounds"``) and multi-field
+capability (``"native"`` / ``"per-column"``) at the time the
 store was created.  The capability is *not* part of the content key —
 the key identifies the sweep definition, not the engine version — but a
 ``check_stride > 1`` store refuses to reopen if a protocol's capability
@@ -79,6 +80,14 @@ def _config_payload(config: ExperimentConfig, check_stride: int) -> dict:
     spec = config.fault_spec()
     if spec.enabled:
         payload["faults"] = spec.canonical()
+    # Same back-compat rule for multi-field sweeps: fields=1 (the scalar
+    # engine, however the workload knob is spelled — it is only consulted
+    # at k > 1) keeps the pre-multi-field content key, so historical
+    # stores resume unchanged; a k > 1 sweep keys on (fields, workload)
+    # and can never mix its (n, k) cells into a scalar store.
+    if config.fields > 1:
+        payload["fields"] = config.fields
+        payload["workload"] = config.workload
     return payload
 
 
@@ -112,12 +121,13 @@ class ResultStore:
         check_stride: int = 1,
     ):
         # Imported at call time: repro.experiments sits above the engine.
-        from repro.experiments.config import protocol_batching
+        from repro.experiments.config import multifield_support, protocol_batching
 
         self.root = Path(root)
         self.config = config
         self.check_stride = check_stride
         self.batching = protocol_batching(config.algorithms)
+        self.multifield = multifield_support(config.algorithms)
         self.key = content_key(config, check_stride)
         self.directory = self.root / self.key
         self.records_path = self.directory / "cells.jsonl"
@@ -130,6 +140,10 @@ class ResultStore:
         store whose recorded protocol batching capabilities no longer
         match the current engine — the stored cells ran a different
         execution path than fresh cells would, and the two must not mix.
+        The same guard covers multi-field capability at ``fields > 1``:
+        a protocol demoted from native to per-column (or vice versa)
+        computes its secondary columns on different RNG streams, so old
+        and new ``(n, k)`` cells carry non-identical ``field_errors``.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         if self.config_path.exists():
@@ -153,9 +167,31 @@ class ResultStore:
                     "store cannot be resumed — use a fresh store "
                     "directory or reset this one"
                 )
+            recorded_multifield = self.recorded_multifield()
+            if (
+                self.config.fields > 1
+                and recorded_multifield is not None
+                and recorded_multifield != self.multifield
+            ):
+                drifted = sorted(
+                    name
+                    for name in self.multifield
+                    if recorded_multifield.get(name) != self.multifield[name]
+                )
+                raise ValueError(
+                    f"store {self.directory} recorded multi-field "
+                    f"capabilities {recorded_multifield} but the current "
+                    f"engine has {self.multifield} (drifted: {drifted}); "
+                    f"at fields={self.config.fields} the native and "
+                    "per-column paths compute secondary columns on "
+                    "different RNG streams, so this store cannot be "
+                    "resumed — use a fresh store directory or reset "
+                    "this one"
+                )
         else:
             payload = _config_payload(self.config, self.check_stride)
             payload["batching"] = dict(self.batching)
+            payload["multifield"] = dict(self.multifield)
             self.config_path.write_text(
                 json.dumps(payload, indent=2, sort_keys=True) + "\n",
                 encoding="utf-8",
@@ -178,6 +214,24 @@ class ResultStore:
         if not isinstance(batching, dict):
             return None
         return {str(k): str(v) for k, v in batching.items()}
+
+    def recorded_multifield(self) -> dict[str, str] | None:
+        """The multi-field capability map persisted in ``config.json``.
+
+        ``None`` when the store does not exist yet or predates the
+        multi-field engine (a legacy store, tolerated — such stores can
+        only hold scalar cells, which both paths compute identically).
+        """
+        if not self.config_path.exists():
+            return None
+        try:
+            payload = json.loads(self.config_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            return None
+        multifield = payload.get("multifield")
+        if not isinstance(multifield, dict):
+            return None
+        return {str(k): str(v) for k, v in multifield.items()}
 
     def reset(self) -> "ResultStore":
         """Drop any persisted cells and descriptor (a fresh run).

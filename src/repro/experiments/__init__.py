@@ -22,6 +22,7 @@ from repro.experiments.config import (
     ExperimentConfig,
     fault_incompatible,
     make_algorithm,
+    multifield_support,
     protocol_batching,
 )
 from repro.experiments.runner import (
@@ -50,6 +51,7 @@ __all__ = [
     "format_table",
     "format_value",
     "make_algorithm",
+    "multifield_support",
     "protocol_batching",
     "run_convergence",
     "run_scaling_sweep",

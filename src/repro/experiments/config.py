@@ -22,12 +22,14 @@ from repro.gossip.randomized import RandomizedGossip
 from repro.gossip.spatial import SpatialGossip
 from repro.graphs.generators import TOPOLOGIES, topology_names
 from repro.graphs.rgg import RandomGeometricGraph
+from repro.workloads.fields import WORKLOADS
 
 __all__ = [
     "ALGORITHMS",
     "ALGORITHM_CLASSES",
     "fault_incompatible",
     "make_algorithm",
+    "multifield_support",
     "protocol_batching",
     "ExperimentConfig",
 ]
@@ -117,6 +119,37 @@ def protocol_batching(algorithms: tuple[str, ...] | list[str]) -> dict[str, str]
     return capabilities
 
 
+def multifield_support(
+    algorithms: tuple[str, ...] | list[str],
+) -> dict[str, str]:
+    """Multi-field execution capability for each named algorithm.
+
+    Maps each name to ``"native"`` (one pass mixes all ``k`` columns of
+    an ``(n, k)`` field matrix on shared routing/sampling) or
+    ``"per-column"`` (the engine would fall back to ``k`` serial scalar
+    passes with a
+    :class:`~repro.engine.batching.MultiFieldFallbackWarning`) — see
+    :func:`repro.engine.batching.multifield_capability`.  Every
+    tick-driven protocol in the registry is ``"native"``;
+    ``hierarchical`` is ``"per-column"`` by design — its adaptive round
+    structure is an oracle over one field, so each column runs its own
+    adaptive execution.
+    """
+    from repro.engine.batching import multifield_capability
+
+    capabilities = {}
+    for name in algorithms:
+        try:
+            cls = ALGORITHM_CLASSES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown algorithm {name!r}; registered: "
+                f"{sorted(ALGORITHM_CLASSES)}"
+            ) from None
+        capabilities[name] = multifield_capability(cls)
+    return capabilities
+
+
 def fault_incompatible(algorithms: tuple[str, ...] | list[str]) -> list[str]:
     """The subset of ``algorithms`` that cannot run under fault dynamics.
 
@@ -194,6 +227,16 @@ class ExperimentConfig:
         so every algorithm of a trial faces the *same* fault scenario.
         Round-based protocols (``hierarchical``) have no tick loop to
         interleave epochs with and are rejected under faults.
+    fields:
+        Number of stacked fields per sweep cell.  The default ``1`` runs
+        the historical scalar engine path bit for bit; ``k > 1`` builds
+        an ``(n, k)`` matrix via the ``workload`` builder and runs all
+        columns through one gossip pass per cell (column 0 stays
+        bit-identical to the ``fields=1`` cell on the same seeds).
+    workload:
+        Stacking scheme from :data:`repro.workloads.fields.WORKLOADS`
+        (``ensemble`` / ``quantile`` / ``histogram``); only consulted
+        when ``fields > 1``.
     """
 
     sizes: tuple[int, ...] = (128, 256, 512, 1024)
@@ -205,6 +248,8 @@ class ExperimentConfig:
     algorithms: tuple[str, ...] = ("randomized", "geographic", "hierarchical")
     topology: str = "rgg"
     faults: str = "none"
+    fields: int = 1
+    workload: str = "ensemble"
 
     def __post_init__(self) -> None:
         if not self.sizes:
@@ -222,6 +267,15 @@ class ExperimentConfig:
             raise ValueError(
                 f"unknown topology {self.topology!r}; registered: "
                 f"{topology_names()}"
+            )
+        if self.fields < 1:
+            raise ValueError(
+                f"fields must be >= 1, got {self.fields}"
+            )
+        if self.workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; registered: "
+                f"{sorted(WORKLOADS)}"
             )
         spec = FaultSpec.parse(self.faults)  # raises on a malformed spec
         if spec.enabled:

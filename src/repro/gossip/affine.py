@@ -50,12 +50,21 @@ def affine_pair_update(
     alpha_i: float,
     alpha_j: float,
 ) -> None:
-    """Apply the cross-weighted affine update to the pair ``(i, j)`` in place."""
+    """Apply the cross-weighted affine update to the pair ``(i, j)`` in place.
+
+    Both sides are computed from pre-exchange values *before* either row
+    is written: on an ``(n, k)`` field matrix ``values[i]`` is a live row
+    view, and writing it first would silently feed post-exchange values
+    into ``j``'s update (scalar state never hits this — indexing a 1-D
+    array copies).
+    """
     if i == j:
         raise ValueError(f"affine update needs two distinct nodes, got {i}=={j}")
     xi, xj = values[i], values[j]
-    values[i] = (1.0 - alpha_i) * xi + alpha_j * xj
-    values[j] = (1.0 - alpha_j) * xj + alpha_i * xi
+    new_i = (1.0 - alpha_i) * xi + alpha_j * xj
+    new_j = (1.0 - alpha_j) * xj + alpha_i * xi
+    values[i] = new_i
+    values[j] = new_j
 
 
 class AffineGossipKn(AsynchronousGossip):
@@ -72,6 +81,13 @@ class AffineGossipKn(AsynchronousGossip):
     """
 
     name = "affine-kn"
+
+    #: Cross-weighted pair updates are row arithmetic with both sides
+    #: computed before either row is written (no view aliasing), so an
+    #: (n, k) field matrix updates column by column exactly like k
+    #: scalar runs sharing one pair sequence.  Every column must be
+    #: mean-zero (see ``requires_centered_field``).
+    supports_multifield = True
 
     #: Lemma 1's contraction is a statement about the mean-zero subspace
     #: (the paper's WLOG ``x̄(0) = 0``): the cross-weighted update does
@@ -140,10 +156,9 @@ class AffineGossipKn(AsynchronousGossip):
             partner = int(pick * last)
             if partner >= node:
                 partner += 1
-            alpha_i, alpha_j = alphas[node], alphas[partner]
-            xi, xj = values[node], values[partner]
-            values[node] = (1.0 - alpha_i) * xi + alpha_j * xj
-            values[partner] = (1.0 - alpha_j) * xj + alpha_i * xi
+            affine_pair_update(
+                values, node, partner, alphas[node], alphas[partner]
+            )
         if len(owners):
             counter.charge(2 * len(owners), "exchange")
 
@@ -221,11 +236,14 @@ class PerturbedAffineGossipKn(AffineGossipKn):
             partner = int(draws[index, 0] * last)
             if partner >= node:
                 partner += 1
-            alpha_i, alpha_j = alphas[node], alphas[partner]
-            xi, xj = values[node], values[partner]
-            # ±ν on the exchanging pair: antisymmetric, sum-conserving.
+            affine_pair_update(
+                values, node, partner, alphas[node], alphas[partner]
+            )
+            # ±ν on the exchanging pair, exactly as tick() composes it:
+            # antisymmetric, sum-conserving, one ν per tick perturbing
+            # every column alike.
             nu = (2.0 * draws[index, 1] - 1.0) * bound
-            values[node] = (1.0 - alpha_i) * xi + alpha_j * xj + nu
-            values[partner] = (1.0 - alpha_j) * xj + alpha_i * xi - nu
+            values[node] += nu
+            values[partner] -= nu
         if len(owners):
             counter.charge(2 * len(owners), "exchange")

@@ -19,11 +19,38 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.metrics.error import normalized_error
+from repro.metrics.error import (
+    field_count,
+    normalized_error,
+    result_column_errors,
+)
 from repro.metrics.trace import ConvergenceTrace
 from repro.routing.cost import TransmissionCounter
 
-__all__ = ["GossipRunResult", "AsynchronousGossip"]
+__all__ = ["GossipRunResult", "AsynchronousGossip", "check_state_shape"]
+
+
+def check_state_shape(initial_values: np.ndarray, n: int) -> np.ndarray:
+    """Validate gossip state: ``(n,)`` scalar or ``(n, k)`` field matrix.
+
+    Returns the float64 array.  The two layouts share every protocol
+    code path: NumPy row operations (``values[i]``) act on a scalar or
+    a length-``k`` row identically, and the oracular error reduces an
+    ``(n, k)`` matrix to its primary field (column 0) — see
+    :mod:`repro.metrics.error`.
+    """
+    initial_values = np.asarray(initial_values, dtype=np.float64)
+    ok = initial_values.shape == (n,) or (
+        initial_values.ndim == 2
+        and initial_values.shape[0] == n
+        and initial_values.shape[1] >= 1
+    )
+    if not ok:
+        raise ValueError(
+            f"need one value (or one row of fields) per node: expected "
+            f"shape ({n},) or ({n}, k), got {initial_values.shape}"
+        )
+    return initial_values
 
 
 @dataclass
@@ -47,9 +74,18 @@ class GossipRunResult:
     epsilon:
         The target normalized error.
     error:
-        Final normalized error ``‖x(t)‖/‖x(0)‖``.
+        Final normalized error ``‖x(t)‖/‖x(0)‖`` (primary field for
+        multi-field runs).
     trace:
-        Thinned (transmissions → error) curve.
+        Thinned (transmissions → error) curve.  For a run assembled by
+        the engine's per-column multi-field fallback this is **column
+        0's curve only**, while ``ticks``/``transmissions`` aggregate
+        all ``k`` per-column passes — so the trace's final point ends at
+        a fraction of ``total_transmissions`` there.  Native multi-field
+        and scalar runs have no such split: one pass, one curve.
+    column_errors:
+        Per-column final normalized errors of an ``(n, k)`` multi-field
+        run (``column_errors[0] == error``); ``None`` for scalar runs.
     """
 
     algorithm: str
@@ -61,10 +97,16 @@ class GossipRunResult:
     epsilon: float
     error: float
     trace: ConvergenceTrace
+    column_errors: np.ndarray | None = None
 
     @property
     def total_transmissions(self) -> int:
         return self.transmissions["total"]
+
+    @property
+    def fields(self) -> int:
+        """Number of stacked fields the run carried (1 for scalar state)."""
+        return field_count(self.values)
 
 
 class AsynchronousGossip(ABC):
@@ -77,6 +119,24 @@ class AsynchronousGossip(ABC):
     """
 
     name = "abstract-gossip"
+
+    #: Whether ``tick``/``tick_block`` handle an ``(n, k)`` field matrix
+    #: natively (row operations, no scalar assumptions, no view aliasing).
+    #: Conservative default for third-party subclasses: the engine falls
+    #: back to per-column scalar passes (with a
+    #: :class:`repro.engine.batching.MultiFieldFallbackWarning`) instead
+    #: of risking silent broadcasting bugs.  Every protocol in this
+    #: library declares ``True``; see ``docs/workloads.md`` for the audit
+    #: checklist a ``tick`` implementation must pass.
+    supports_multifield = False
+
+    #: Whether one instance may be rerun from fresh initial values —
+    #: what the engine's per-column multi-field fallback does ``k``
+    #: times.  Protocols that carry state *across* runs (an epoch
+    #: clock, a partially consumed loss stream — e.g. the dynamics
+    #: wrapper) must set ``False`` so the fallback rejects them instead
+    #: of silently replaying columns on spent state.
+    multifield_fallback_safe = True
 
     def __init__(self, n: int):
         if n < 2:
@@ -137,7 +197,12 @@ class AsynchronousGossip(ABC):
         Parameters
         ----------
         initial_values:
-            One value per node; the run works on a copy.
+            One value per node (shape ``(n,)``), or an ``(n, k)`` matrix
+            of ``k`` stacked fields; the run works on a copy.  Multi-field
+            runs apply every protocol action to all columns at once; the
+            stopping rule (and the trace) track the primary field —
+            column 0 — exactly as a scalar run would, so column 0 stays
+            bit-identical to the legacy scalar run on the same seed.
         epsilon:
             Target normalized error (the paper's ε).
         rng:
@@ -148,11 +213,20 @@ class AsynchronousGossip(ABC):
             Error-check (and trace) period in ticks; defaults to
             ``max(1, n // 4)`` so checking adds O(1) amortised work per tick.
         """
-        initial_values = np.asarray(initial_values, dtype=np.float64)
-        if initial_values.shape != (self.n,):
-            raise ValueError(
-                f"need one value per node: expected shape ({self.n},), "
-                f"got {initial_values.shape}"
+        initial_values = check_state_shape(initial_values, self.n)
+        if initial_values.ndim == 2 and not self.supports_multifield:
+            # Before multi-field state existed this raised a shape error;
+            # admitting a matrix into an unaudited tick would let scalar
+            # assumptions (flattening reductions, row-view aliasing)
+            # corrupt columns silently.  The engine's run_batched offers
+            # the audited per-column fallback; this legacy entry refuses.
+            raise TypeError(
+                f"{self.name!r} does not declare supports_multifield, so "
+                f"run() only accepts scalar ({self.n},) state — audit "
+                "tick/tick_block against the checklist in "
+                "docs/workloads.md and declare supports_multifield = "
+                "True, or use repro.engine.run_batched, whose per-column "
+                "fallback runs unaudited protocols one field at a time"
             )
         if epsilon <= 0:
             raise ValueError(f"epsilon must be positive, got {epsilon}")
@@ -187,4 +261,5 @@ class AsynchronousGossip(ABC):
             epsilon=epsilon,
             error=error,
             trace=trace,
+            column_errors=result_column_errors(values, initial_values),
         )

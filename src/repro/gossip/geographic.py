@@ -52,6 +52,11 @@ class GeographicGossip(AsynchronousGossip):
     """
 
     name = "geographic"
+    #: Endpoint averaging is pure row arithmetic (see
+    #: :class:`~repro.gossip.randomized.RandomizedGossip`); routing and
+    #: target selection never read the values, so an (n, k) field matrix
+    #: rides the identical routes the scalar run takes.
+    supports_multifield = True
 
     def __init__(
         self,

@@ -32,7 +32,7 @@ from enum import Enum
 
 import numpy as np
 
-from repro.gossip.base import GossipRunResult
+from repro.gossip.base import GossipRunResult, check_state_shape
 from repro.gossip.hierarchical.parameters import ProtocolParameters
 from repro.graphs.rgg import RandomGeometricGraph
 from repro.hierarchy.tree import HierarchyTree, SquareNode
@@ -127,6 +127,26 @@ class HierarchicalGossip:
 
     name = "hierarchical-affine"
 
+    #: The adaptive round structure (settle checks, exchange counts,
+    #: `Far` retries) is an oracle over ONE field, and the affine `Far`
+    #: coefficient can exceed 1 — an extrapolation the adaptive loop
+    #: reins in for the field it measures.  Secondary columns of an
+    #: (n, k) matrix would receive those β > 1 exchanges without their
+    #: own settle checks and can *diverge* while the primary converges.
+    #: The protocol therefore declares no multi-field support: the
+    #: engine's per-column fallback runs each field through its own
+    #: adaptive execution instead (`run_batched` +
+    #: `MultiFieldFallbackWarning`), which is correct at the serial
+    #: cost; this class's own ``run`` rejects matrix state outright.
+    supports_multifield = False
+
+    #: Tells the engine's fallback warning this is a design decision,
+    #: not a missing audit — the warning must not advise flipping
+    #: ``supports_multifield`` (doing so would let secondaries diverge).
+    multifield_fallback_reason = (
+        "its adaptive round structure is an oracle over one field"
+    )
+
     def __init__(
         self,
         graph: RandomGeometricGraph,
@@ -162,11 +182,15 @@ class HierarchicalGossip:
         top-level averaging); extra root rounds are retried if the target
         is missed (e.g. a stranded sensor inside a leaf).
         """
-        initial_values = np.asarray(initial_values, dtype=np.float64)
-        if initial_values.shape != (self.graph.n,):
-            raise ValueError(
-                f"need one value per node: expected ({self.graph.n},), "
-                f"got {initial_values.shape}"
+        initial_values = check_state_shape(initial_values, self.graph.n)
+        if initial_values.ndim == 2:
+            raise TypeError(
+                f"{self.name!r} adapts its round structure to a single "
+                "field (and its affine Far coefficient can exceed 1), so "
+                "secondary columns of an (n, k) matrix would diverge "
+                "unchecked; run matrix state through "
+                "repro.engine.run_batched, whose per-column fallback "
+                "executes each field adaptively on its own"
             )
         if epsilon <= 0:
             raise ValueError(f"epsilon must be positive, got {epsilon}")
@@ -359,10 +383,14 @@ class HierarchicalGossip:
             state.values[s_j] = average
             return
         beta = self._coefficient(square_i, square_j, state)
-        # Both sides computed from pre-exchange values; the same β on both
-        # sides conserves the global sum exactly.
-        state.values[s_i] = x_i + beta * (x_j - x_i)
-        state.values[s_j] = x_j + beta * (x_i - x_j)
+        # Both sides computed from pre-exchange values (multi-field rows
+        # are views, so neither row may be written before both updates
+        # are built); the same β on both sides conserves the global sum
+        # exactly.
+        new_i = x_i + beta * (x_j - x_i)
+        new_j = x_j + beta * (x_i - x_j)
+        state.values[s_i] = new_i
+        state.values[s_j] = new_j
 
     def _coefficient(
         self, square_i: SquareNode, square_j: SquareNode, state: "_RunState"
@@ -420,7 +448,12 @@ class HierarchicalGossip:
     # -- helpers ----------------------------------------------------------------
 
     def _square_deviation(self, node: SquareNode, state: "_RunState") -> float:
-        """ℓ₂ deviation of the square's members about their own mean."""
+        """ℓ₂ deviation of the square's members about their own mean.
+
+        Always scalar state: ``run`` rejects (n, k) matrices up front
+        (this executor runs multi-field state per column, via the
+        engine's fallback), so no matrix branch exists here.
+        """
         slice_ = state.values[node.members]
         return float(np.linalg.norm(slice_ - slice_.mean()))
 

@@ -95,6 +95,10 @@ class PathAveragingGossip(AsynchronousGossip):
 
     name = "path-averaging"
     flash_channel = None
+    #: The route average handles (n, k) field matrices column by column
+    #: (see :meth:`_average_route` for the reduction-order subtlety that
+    #: keeps column 0 bit-identical to a scalar run).
+    supports_multifield = True
 
     def __init__(
         self,
@@ -214,6 +218,13 @@ class PathAveragingGossip(AsynchronousGossip):
         severed: the transaction is all-or-nothing (a partial flash would
         leak mass), so a loss at any flash hop charges the transmissions
         attempted under ``"route_lost"`` and aborts with no update.
+
+        Multi-field state averages column by column.  The reduction must
+        *not* be ``values[nodes].mean(axis=0)``: NumPy accumulates
+        strided axis-0 reductions in a different order than contiguous
+        1-D reductions, which would break the column-0 bit-identity
+        contract.  Transposing to a contiguous ``(k, hops+1)`` block
+        makes each column's mean the exact kernel the scalar path runs.
         """
         if hops < 1:
             return
@@ -225,4 +236,8 @@ class PathAveragingGossip(AsynchronousGossip):
                 return
         counter.charge(hops, "route")
         nodes = np.asarray(path, dtype=np.int64)
-        values[nodes] = values[nodes].mean()
+        block = values[nodes]
+        if block.ndim == 1:
+            values[nodes] = block.mean()
+        else:
+            values[nodes] = np.ascontiguousarray(block.T).mean(axis=1)

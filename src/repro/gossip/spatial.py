@@ -48,6 +48,9 @@ class SpatialGossip(AsynchronousGossip):
     """
 
     name = "spatial"
+    #: Endpoint averaging is pure row arithmetic; target CDFs depend only
+    #: on positions, so (n, k) field matrices mix on the scalar run's routes.
+    supports_multifield = True
 
     def __init__(self, graph: RandomGeometricGraph, rho: float = 2.0):
         super().__init__(graph.n)

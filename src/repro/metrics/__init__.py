@@ -8,10 +8,14 @@ convergence experiments.
 """
 
 from repro.metrics.error import (
+    column_errors,
     consensus_value,
     deviation_norm,
+    field_count,
     max_deviation,
     normalized_error,
+    primary_field,
+    result_column_errors,
     variance,
 )
 from repro.metrics.trace import ConvergenceTrace, TracePoint
@@ -19,9 +23,13 @@ from repro.metrics.trace import ConvergenceTrace, TracePoint
 __all__ = [
     "ConvergenceTrace",
     "TracePoint",
+    "column_errors",
     "consensus_value",
     "deviation_norm",
+    "field_count",
     "max_deviation",
     "normalized_error",
+    "primary_field",
+    "result_column_errors",
     "variance",
 ]

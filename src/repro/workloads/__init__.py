@@ -9,19 +9,33 @@ where each sensor sits.
 """
 
 from repro.workloads.fields import (
+    FIELD_GENERATORS,
+    WORKLOADS,
+    build_field_matrix,
     checkerboard_field,
+    ensemble_field,
     gaussian_plume_field,
+    histogram_edges,
+    histogram_indicator_stack,
     linear_gradient_field,
+    quantile_indicator_stack,
+    quantile_thresholds,
     random_field,
     spike_field,
-    FIELD_GENERATORS,
 )
 
 __all__ = [
     "FIELD_GENERATORS",
+    "WORKLOADS",
+    "build_field_matrix",
     "checkerboard_field",
+    "ensemble_field",
     "gaussian_plume_field",
+    "histogram_edges",
+    "histogram_indicator_stack",
     "linear_gradient_field",
+    "quantile_indicator_stack",
+    "quantile_thresholds",
     "random_field",
     "spike_field",
 ]

@@ -12,6 +12,25 @@ scenarios mirror the sensor-network motivation of the gossip literature:
 * ``checkerboard_field`` — high-frequency alternation; the easy case for
   local gossip.
 * ``random_field`` — i.i.d. noise, the standard benchmark workload.
+
+**Stacked fields.**  Sensor networks rarely carry one measurement: the
+multi-field engine runs an ``(n, k)`` matrix of ``k`` concurrent fields
+through a single gossip pass, sharing every clock tick, pair draw, and
+greedy route across columns.  The builders here produce such stacks with
+one invariant — **column 0 is exactly the scalar field** the legacy
+engine would have drawn from the same generator stream, which is what
+lets the golden-trace suite pin a ``k``-field run's first column to the
+scalar run bit for bit:
+
+* ``ensemble_field`` — ``k`` independent draws of one base generator
+  (trial ensembles in one pass).
+* ``quantile_indicator_stack`` / ``histogram_indicator_stack`` — the
+  base field plus indicator columns whose network averages *are* the
+  empirical CDF at fixed thresholds / the normalized bin counts, so one
+  gossip run estimates quantiles or a histogram of the field.
+* ``build_field_matrix`` — the engine entry point, dispatching on the
+  :data:`WORKLOADS` registry (``ensemble`` / ``quantile`` /
+  ``histogram``).
 """
 
 from __future__ import annotations
@@ -25,6 +44,13 @@ __all__ = [
     "checkerboard_field",
     "random_field",
     "FIELD_GENERATORS",
+    "ensemble_field",
+    "quantile_indicator_stack",
+    "quantile_thresholds",
+    "histogram_indicator_stack",
+    "histogram_edges",
+    "build_field_matrix",
+    "WORKLOADS",
 ]
 
 
@@ -117,3 +143,157 @@ FIELD_GENERATORS = {
     "checkerboard": checkerboard_field,
     "random": random_field,
 }
+
+
+def _check_fields(k: int) -> int:
+    if k < 1:
+        raise ValueError(f"need at least one field, got k={k}")
+    return int(k)
+
+
+def ensemble_field(
+    positions: np.ndarray,
+    rng: np.random.Generator,
+    base: str = "random",
+    k: int = 8,
+) -> np.ndarray:
+    """``k`` independent draws of one base generator, stacked ``(n, k)``.
+
+    The columns are drawn sequentially from ``rng``, so column 0 equals
+    the scalar field ``FIELD_GENERATORS[base](positions, rng)`` would
+    have produced from the same generator state — the stream-consumption
+    rule every stacked-field builder follows (the engine's column-0
+    bit-identity guarantee depends on it).
+    """
+    _check_fields(k)
+    try:
+        generator = FIELD_GENERATORS[base]
+    except KeyError:
+        raise ValueError(
+            f"unknown base field {base!r}; registered: {sorted(FIELD_GENERATORS)}"
+        ) from None
+    return np.column_stack([generator(positions, rng) for _ in range(k)])
+
+
+def quantile_indicator_stack(values: np.ndarray, k: int = 8) -> np.ndarray:
+    """The field plus CDF-indicator columns: quantile estimation in one run.
+
+    Column 0 is ``values`` itself; column ``j ≥ 1`` is the indicator
+    ``1[x_i ≤ τ_j]`` at the ``k − 1`` thresholds ``τ_j`` evenly spaced
+    across the field's range.  Averaging conserves each column's mean,
+    so every node's column-``j`` estimate converges to the *exact*
+    empirical CDF ``#{i : x_i ≤ τ_j} / n`` — reading the stack's
+    consensus row off against the thresholds inverts it into quantiles.
+    Thresholds are deterministic functions of the field (no RNG draws),
+    keeping the generator stream identical to the scalar run's.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError(
+            f"need a 1-D base field to stack indicators on, got shape "
+            f"{values.shape}"
+        )
+    _check_fields(k)
+    thresholds = quantile_thresholds(values, k - 1)
+    indicators = [
+        (values <= threshold).astype(np.float64) for threshold in thresholds
+    ]
+    return np.column_stack([values, *indicators])
+
+
+def quantile_thresholds(values: np.ndarray, count: int) -> np.ndarray:
+    """The ``count`` evenly spaced interior thresholds a quantile stack uses.
+
+    Spaced across ``[min, max]`` excluding both endpoints (an endpoint
+    indicator is constant — it carries no information and would sit at
+    zero deviation from tick 0).  A constant field yields its single
+    value repeated: every indicator is all-ones and the columns are
+    vacuously converged.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    low, high = float(values.min()), float(values.max())
+    return np.linspace(low, high, count + 2)[1:-1]
+
+
+def histogram_indicator_stack(values: np.ndarray, k: int = 8) -> np.ndarray:
+    """The field plus bin-indicator columns: a histogram in one run.
+
+    Column 0 is ``values``; column ``j ≥ 1`` is the indicator of the
+    ``j``-th of ``k − 1`` equal-width bins spanning ``[min, max]`` (the
+    last bin closed, matching :func:`numpy.histogram`).  Each column's
+    conserved mean is the exact normalized bin count, so one gossip run
+    leaves every node holding the field's full histogram.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError(
+            f"need a 1-D base field to stack indicators on, got shape "
+            f"{values.shape}"
+        )
+    _check_fields(k)
+    bins = max(k - 1, 1)
+    edges = histogram_edges(values, bins)
+    indicators = []
+    for j in range(k - 1):
+        if j == bins - 1:  # last bin closed, as numpy.histogram has it
+            upper = values <= edges[j + 1]
+        else:
+            upper = values < edges[j + 1]
+        indicators.append(((values >= edges[j]) & upper).astype(np.float64))
+    return np.column_stack([values, *indicators])
+
+
+def histogram_edges(values: np.ndarray, bins: int) -> np.ndarray:
+    """The ``bins + 1`` equal-width edges a histogram stack uses.
+
+    A constant field degenerates to zero-width bins; every sensor lands
+    in the last (closed) bin, mirroring :func:`numpy.histogram` on a
+    zero-range input.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    return np.linspace(float(values.min()), float(values.max()), bins + 1)
+
+
+#: Workload name → stacked-field builder ``(field, positions, rng, k)``.
+#: Every builder draws the base scalar field *first* from ``rng`` and
+#: places it in column 0, so a multi-field sweep cell's first column is
+#: bit-identical to the scalar sweep cell on the same seeds.
+WORKLOADS = {
+    "ensemble": lambda field, positions, rng, k: ensemble_field(
+        positions, rng, base=field, k=k
+    ),
+    "quantile": lambda field, positions, rng, k: quantile_indicator_stack(
+        FIELD_GENERATORS[field](positions, rng), k=k
+    ),
+    "histogram": lambda field, positions, rng, k: histogram_indicator_stack(
+        FIELD_GENERATORS[field](positions, rng), k=k
+    ),
+}
+
+
+def build_field_matrix(
+    workload: str,
+    field: str,
+    positions: np.ndarray,
+    rng: np.random.Generator,
+    k: int,
+) -> np.ndarray:
+    """Build the ``(n, k)`` initial state for a multi-field run.
+
+    ``workload`` picks the stacking scheme from :data:`WORKLOADS`;
+    ``field`` names the base generator from :data:`FIELD_GENERATORS`.
+    Column 0 is always the base field exactly as the scalar engine would
+    have drawn it from ``rng``.
+    """
+    _check_fields(k)
+    if field not in FIELD_GENERATORS:
+        raise ValueError(
+            f"unknown field {field!r}; registered: {sorted(FIELD_GENERATORS)}"
+        )
+    try:
+        builder = WORKLOADS[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {workload!r}; registered: {sorted(WORKLOADS)}"
+        ) from None
+    return builder(field, positions, rng, k)

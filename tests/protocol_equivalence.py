@@ -10,14 +10,27 @@ owes the engine two contracts:
    pure function of ``(seed, stride)``: the internal ``block_size`` used
    to chunk owner sampling must never leak into the numbers.
 
+Since the multi-field engine, a third contract joins them:
+
+3. **Column-0 bit-identity** — an ``(n, k)`` multi-field run's first
+   column must equal the legacy scalar run bit for bit (values, ticks,
+   transmissions, error, and every trace point), at stride 1 and at any
+   stride; equivalently, column 0 is invariant to ``k`` (k=1 vs k=8
+   agree).  All stopping decisions read the primary field only, and all
+   protocol randomness is value-independent, so the scalar run replays
+   inside every multi-field run.
+
 This module factors those assertions (plus strided determinism) into
 reusable helpers and a registry of ready-made protocol cases, so adding a
 protocol to the golden suite is one `ProtocolCase` entry — future
 protocols get the whole equivalence battery for free by registering here
-and parametrizing over :func:`case_names`.
+and parametrizing over :func:`case_names`.  The registry includes fully
+faulted cases (churn + link failures + loss on a pinned schedule), so
+each contract is exercised through the dynamics layer too.
 
 Not a test module itself (no ``test_`` prefix): imported by
-``test_golden_traces.py`` and ``test_protocol_properties.py``.
+``test_golden_traces.py``, ``test_protocol_properties.py`` and
+``test_multifield.py``.
 """
 
 from __future__ import annotations
@@ -152,9 +165,44 @@ def case_names(tick_driven: bool | None = None) -> list[str]:
     ]
 
 
+def multifield_native_case_names() -> list[str]:
+    """Cases whose protocol carries (n, k) state natively in one pass.
+
+    The hierarchical executor is the deliberate exception — its adaptive
+    round structure is an oracle over one field, so matrix state routes
+    through the engine's per-column fallback instead (covered by its own
+    dedicated tests).
+    """
+    from repro.engine.batching import multifield_capability
+
+    return [
+        name
+        for name, case in CASES.items()
+        if multifield_capability(case.factory()) == "native"
+    ]
+
+
 def initial_values() -> np.ndarray:
     """The shared field every case starts from (copied per run)."""
     return _VALUES.copy()
+
+
+def initial_field_matrix(k: int) -> np.ndarray:
+    """A deterministic ``(n, k)`` stack whose column 0 is the shared field.
+
+    Secondary columns are independent mean-zero draws from a pinned
+    stream (mean-zero keeps every column inside the regime the affine
+    K_n cases require, so no ``UncenteredFieldWarning`` noise), scaled
+    differently per column so a column-mixing bug cannot cancel out.
+    """
+    if k < 1:
+        raise ValueError(f"need k >= 1, got {k}")
+    columns = [initial_values()]
+    secondary = np.random.default_rng(60203).normal(size=(_N, max(k - 1, 0)))
+    for j in range(k - 1):
+        column = secondary[:, j] * (1.0 + 0.5 * j)
+        columns.append(column - column.mean())
+    return np.column_stack(columns)
 
 
 def assert_results_identical(
@@ -183,12 +231,19 @@ def run_engine(
     seed: int,
     check_stride: int,
     block_size: int | None = None,
+    fields: int | None = None,
 ) -> GossipRunResult:
-    """One engine run of ``case`` from the shared field, fresh instance."""
+    """One engine run of ``case`` from the shared field, fresh instance.
+
+    ``fields=None`` runs the legacy scalar state; ``fields=k`` runs the
+    deterministic ``(n, k)`` stack of :func:`initial_field_matrix` (whose
+    column 0 is the scalar field) from the *same* RNG.
+    """
     kwargs = {} if block_size is None else {"block_size": block_size}
+    state = initial_values() if fields is None else initial_field_matrix(fields)
     return run_batched(
         case.factory(),
-        initial_values(),
+        state,
         case.epsilon,
         spawn_rng(seed, "golden", case.name),
         check_stride=check_stride,
@@ -231,4 +286,97 @@ def assert_strided_deterministic(
     second = run_engine(case, seed, check_stride)
     assert_results_identical(
         first, second, f"{case.name}, stride {check_stride}, repeat run"
+    )
+
+
+# -- multi-field contracts ---------------------------------------------------
+
+
+def assert_column0_matches(
+    scalar: GossipRunResult, multi: GossipRunResult, context: str = ""
+) -> None:
+    """Contract 3's comparison: the scalar run replays as column 0."""
+    suffix = f" ({context})" if context else ""
+    assert multi.values.ndim == 2, f"expected a multi-field run{suffix}"
+    np.testing.assert_array_equal(
+        multi.values[:, 0],
+        scalar.values if scalar.values.ndim == 1 else scalar.values[:, 0],
+        err_msg=f"column 0 differs from the scalar run{suffix}",
+    )
+    assert multi.ticks == scalar.ticks, f"ticks differ{suffix}"
+    assert multi.transmissions == scalar.transmissions, (
+        f"transmissions differ{suffix}"
+    )
+    assert multi.error == scalar.error, f"primary error differs{suffix}"
+    assert multi.converged == scalar.converged, f"converged differs{suffix}"
+    assert multi.column_errors is not None, f"missing column errors{suffix}"
+    assert multi.column_errors[0] == multi.error, (
+        f"column_errors[0] is not the primary error{suffix}"
+    )
+    multi_trace = [(p.transmissions, p.ticks, p.error) for p in multi.trace.points]
+    scalar_trace = [
+        (p.transmissions, p.ticks, p.error) for p in scalar.trace.points
+    ]
+    assert multi_trace == scalar_trace, f"trace points differ{suffix}"
+
+
+def assert_multifield_column0_bit_identical(
+    case: ProtocolCase, k: int = 8, seed: int = 7
+) -> None:
+    """Contract 3 vs the *legacy scalar loop*: column 0 of a stride-1
+    ``(n, k)`` engine run equals ``AsynchronousGossip.run`` bit for bit."""
+    legacy = case.factory().run(
+        initial_values(), case.epsilon, spawn_rng(seed, "golden", case.name)
+    )
+    multi = run_engine(case, seed, check_stride=1, fields=k)
+    assert_column0_matches(
+        legacy, multi, f"{case.name}, k={k} stride 1 vs legacy scalar"
+    )
+
+
+def assert_column0_k_invariant(
+    case: ProtocolCase,
+    seed: int = 7,
+    check_stride: int = 4,
+    k_pair: tuple[int, int] = (1, 8),
+) -> None:
+    """Column 0 is a pure function of (seed, stride) — never of ``k``."""
+    low = run_engine(case, seed, check_stride, fields=k_pair[0])
+    high = run_engine(case, seed, check_stride, fields=k_pair[1])
+    # An (n, 1) matrix must come back as a matrix; collapsing it to (n,)
+    # is the regression class this helper exists to catch, so failing
+    # here beats silently comparing `high` against itself.
+    assert low.values.ndim == 2, (
+        f"k={k_pair[0]} matrix state collapsed to shape "
+        f"{low.values.shape} ({case.name})"
+    )
+    assert_column0_matches(
+        low,
+        high,
+        f"{case.name}, stride {check_stride}, k={k_pair[0]} vs k={k_pair[1]}",
+    )
+    # And the (n, 1) matrix path agrees with the plain scalar path.
+    scalar = run_engine(case, seed, check_stride)
+    assert_column0_matches(
+        scalar,
+        low,
+        f"{case.name}, stride {check_stride}, scalar vs k={k_pair[0]} matrix",
+    )
+
+
+def assert_multifield_strided_deterministic(
+    case: ProtocolCase, k: int = 8, seed: int = 7, check_stride: int = 4
+) -> None:
+    """Same (seed, stride, k) twice — fresh instances — identical matrices."""
+    first = run_engine(case, seed, check_stride, fields=k)
+    second = run_engine(case, seed, check_stride, fields=k)
+    assert_results_identical(
+        first,
+        second,
+        f"{case.name}, stride {check_stride}, k={k}, repeat run",
+    )
+    np.testing.assert_array_equal(
+        first.column_errors,
+        second.column_errors,
+        err_msg=f"column errors differ ({case.name}, repeat run)",
     )

@@ -59,6 +59,25 @@ class TestParser:
             assert args.churn_rate is None
             assert args.loss_prob is None
 
+    def test_multifield_flag_defaults(self):
+        for command in ("run", "sweep"):
+            args = build_parser().parse_args([command])
+            assert args.fields == 1
+            assert args.workload == "ensemble"
+
+    def test_multifield_flag_parsing(self):
+        args = build_parser().parse_args(
+            ["run", "--fields", "8", "--workload", "quantile"]
+        )
+        assert args.fields == 8
+        assert args.workload == "quantile"
+
+    def test_rejects_bad_multifield_flags(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--fields", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--workload", "no-such"])
+
     def test_faults_with_incompatible_defaults_exit_cleanly(self, capsys):
         # The sweep default algorithm set includes round-based
         # `hierarchical`; combining it with --faults must be a clean
@@ -157,6 +176,55 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "log-log slope" in out
+
+    def test_run_multifield_reports_per_field_errors(self, capsys):
+        code = main(
+            [
+                "run",
+                "--algorithm", "geographic",
+                "--n", "64",
+                "--epsilon", "0.3",
+                "--fields", "4",
+                "--workload", "quantile",
+                "--show-field",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 (quantile)" in out
+        for index in range(4):
+            assert f"field {index} error" in out
+
+    def test_sweep_multifield(self, capsys, tmp_path):
+        code = main(
+            [
+                "sweep",
+                "--sizes", "24,32",
+                "--epsilon", "0.3",
+                "--trials", "1",
+                "--algorithms", "randomized",
+                "--fields", "8",
+                "--store-dir", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8 'ensemble' fields" in out
+        # Resume reuses every multi-field cell.
+        code = main(
+            [
+                "sweep",
+                "--sizes", "24,32",
+                "--epsilon", "0.3",
+                "--trials", "1",
+                "--algorithms", "randomized",
+                "--fields", "8",
+                "--store-dir", str(tmp_path),
+                "--resume",
+            ]
+        )
+        assert code == 0
+        assert "resuming past 2 finished cells" in capsys.readouterr().out
 
     def test_run_with_faults_reports_metrics(self, capsys):
         code = main(

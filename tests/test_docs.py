@@ -64,6 +64,18 @@ class TestApiReference:
         assert "LossChannel" in dynamics
         assert "watts_strogatz_graph" in graphs
 
+    def test_multifield_symbols_rendered(self, generated):
+        out, _ = generated
+        engine = (out / "repro-engine.md").read_text(encoding="utf-8")
+        assert "MultiFieldFallbackWarning" in engine
+        assert "multifield_capability" in engine
+        workloads = (out / "repro-workloads.md").read_text(encoding="utf-8")
+        assert "build_field_matrix" in workloads
+        assert "quantile_indicator_stack" in workloads
+        metrics = (out / "repro-metrics.md").read_text(encoding="utf-8")
+        assert "primary_field" in metrics
+        assert "column_errors" in metrics
+
     def test_classmethods_and_properties_rendered(self, generated):
         """vars() yields raw descriptors; the generator must not drop them."""
         out, _ = generated

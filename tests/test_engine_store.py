@@ -67,6 +67,27 @@ class TestContentKey:
         explicit = dataclasses.replace(config, topology="rgg")
         assert content_key(explicit) == content_key(config)
 
+    def test_multifield_keys_distinct_but_scalar_matches_legacy(self, config):
+        """fields > 1 sweeps key fresh directories (on both k and the
+        workload); fields=1 keeps the pre-multi-field key regardless of
+        how the (unused) workload knob is spelled, so k=1 stores written
+        before the multi-field engine existed resume unchanged."""
+        import dataclasses
+
+        multi = dataclasses.replace(config, fields=8)
+        assert content_key(multi) != content_key(config)
+        assert content_key(multi) != content_key(
+            dataclasses.replace(config, fields=8, workload="quantile")
+        )
+        explicit = dataclasses.replace(config, fields=1, workload="quantile")
+        assert content_key(explicit) == content_key(config)
+
+    def test_default_key_pinned_across_engine_versions(self):
+        """The k=1 default-config key, frozen: any change to this hash
+        silently orphans every historical store directory.  (Pinned at
+        the multi-field PR against the pre-multi-field engine.)"""
+        assert content_key(ExperimentConfig()) == "379068f1d8668c31"
+
 
 class TestResultStore:
     def test_roundtrip(self, tmp_path, config):
@@ -106,6 +127,83 @@ class TestResultStore:
         plain = ResultStore(tmp_path, config).open()
         strided = ResultStore(tmp_path, config, check_stride=8).open()
         assert plain.directory != strided.directory
+
+    def test_field_errors_roundtrip(self, tmp_path, config):
+        """Multi-field cells persist per-column errors; scalar cells omit
+        the key entirely so pre-multi-field readers still parse them."""
+        import dataclasses
+
+        store = ResultStore(tmp_path, dataclasses.replace(config, fields=3))
+        record = dataclasses.replace(
+            _fake_record(config), field_errors=(0.1, 0.2, 0.05)
+        )
+        store.append(record)
+        (loaded,) = store.load_records().values()
+        assert loaded.field_errors == (0.1, 0.2, 0.05)
+        line = json.loads(store.records_path.read_text().splitlines()[0])
+        assert line["field_errors"] == [0.1, 0.2, 0.05]
+
+        scalar_line = _fake_record(config).to_dict()
+        assert "field_errors" not in scalar_line
+        assert CellRecord.from_dict(scalar_line).field_errors is None
+
+    def test_multifield_store_refuses_capability_drift(self, tmp_path, config):
+        """A k>1 store whose recorded native/per-column map no longer
+        matches the engine must refuse to resume: the two paths compute
+        secondary columns on different RNG streams (exactly what a
+        protocol demotion like hierarchical's would cause)."""
+        import dataclasses
+
+        multi = dataclasses.replace(config, fields=4)
+        store = ResultStore(tmp_path, multi).open()
+        descriptor = json.loads(store.config_path.read_text())
+        descriptor["multifield"] = {"randomized": "per-column"}
+        store.config_path.write_text(json.dumps(descriptor))
+        with pytest.raises(ValueError, match="multi-field"):
+            ResultStore(tmp_path, multi).open()
+        # reset is the documented escape hatch.
+        assert len(ResultStore(tmp_path, multi).reset().load_records()) == 0
+
+    def test_scalar_store_tolerates_multifield_drift(self, tmp_path, config):
+        """At fields=1 both paths run the identical scalar engine, so a
+        drifted capability map must not block resume (mirrors the
+        stride-1 batching rule)."""
+        store = ResultStore(tmp_path, config).open()
+        descriptor = json.loads(store.config_path.read_text())
+        descriptor["multifield"] = {"randomized": "per-column"}
+        store.config_path.write_text(json.dumps(descriptor))
+        ResultStore(tmp_path, config).open()  # no raise
+
+    def test_legacy_store_without_multifield_map_is_tolerated(
+        self, tmp_path, config
+    ):
+        """Pre-multi-field descriptors lack the map; they can only hold
+        scalar cells, which both paths compute identically."""
+        import dataclasses
+
+        multi = dataclasses.replace(config, fields=4)
+        store = ResultStore(tmp_path, multi).open()
+        descriptor = json.loads(store.config_path.read_text())
+        del descriptor["multifield"]
+        store.config_path.write_text(json.dumps(descriptor))
+        reopened = ResultStore(tmp_path, multi)
+        assert reopened.recorded_multifield() is None
+        reopened.open()  # no raise
+
+    def test_scalar_store_resumes_a_multifield_engine(self, tmp_path, config):
+        """The CI round-trip in miniature: a store written at k=1 (by any
+        engine version) resumes under the multi-field engine without
+        recomputation — same key, same cells."""
+        run_sweep_records(config, store=ResultStore(tmp_path, config))
+        resumed = ResultStore(tmp_path, config)
+        fresh = []
+        records = run_sweep_records(
+            config,
+            store=resumed,
+            on_record=lambda record, is_fresh: fresh.append(is_fresh),
+        )
+        assert len(records) == len(expand_grid(config))
+        assert fresh and not any(fresh)  # every cell reused, none rerun
 
 
 class TestBatchingCapabilityGuard:

@@ -5,8 +5,13 @@ Parametrized over the shared registry in ``protocol_equivalence.py``:
 * stride-1 runs are bit-identical to the legacy scalar loop;
 * stride-k runs are a pure function of ``(seed, stride)`` — invariant to
   the engine's internal block chunking and reproducible across fresh
-  protocol instances.
+  protocol instances;
+* multi-field ``(n, k)`` runs replay the scalar run as their column 0 —
+  bit-identical to the legacy loop at stride 1, invariant to ``k`` at
+  any stride, and deterministic across fresh instances.
 
+The registry includes fully faulted cases (churn + link failures + loss
+on a pinned schedule), so every contract also covers the dynamics layer.
 A new protocol only needs a ``ProtocolCase`` entry in the registry to be
 covered by the whole battery.
 """
@@ -16,9 +21,13 @@ import pytest
 from protocol_equivalence import (
     CASES,
     assert_block_size_invariant,
+    assert_column0_k_invariant,
+    assert_multifield_column0_bit_identical,
+    assert_multifield_strided_deterministic,
     assert_stride1_bit_identical,
     assert_strided_deterministic,
     case_names,
+    multifield_native_case_names,
 )
 
 
@@ -44,3 +53,46 @@ def test_registry_covers_every_registered_algorithm():
 
     covered = {type(case.factory()) for case in CASES.values()}
     assert set(ALGORITHM_CLASSES.values()) <= covered
+
+
+class TestMultiField:
+    """Contract 3: the scalar run replays as column 0 of any (n, k) run.
+
+    Runs over *every* registry case — including the faulted
+    configurations, so churn masking, link failures, and per-hop loss
+    are all exercised with matrix state.
+    """
+
+    @pytest.mark.parametrize("name", multifield_native_case_names())
+    def test_column0_bit_identical_to_legacy_scalar_run(self, name):
+        assert_multifield_column0_bit_identical(CASES[name], k=8)
+
+    @pytest.mark.parametrize("name", case_names(tick_driven=True))
+    def test_column0_invariant_to_field_count_when_strided(self, name):
+        assert_column0_k_invariant(CASES[name], check_stride=4, k_pair=(1, 8))
+
+    @pytest.mark.parametrize("name", case_names(tick_driven=True))
+    def test_multifield_strided_runs_deterministic(self, name):
+        assert_multifield_strided_deterministic(CASES[name], k=8)
+
+    @pytest.mark.parametrize("name", case_names(tick_driven=True))
+    def test_multifield_block_size_invariance(self, name):
+        """The block-size contract holds with matrix state too."""
+        from protocol_equivalence import assert_results_identical, run_engine
+
+        reference = run_engine(CASES[name], 7, 4, block_size=1, fields=4)
+        other = run_engine(CASES[name], 7, 4, block_size=8192, fields=4)
+        assert_results_identical(
+            reference, other, f"{name}, k=4, block 1 vs 8192"
+        )
+
+    def test_registry_capabilities_are_pinned(self):
+        """Tick-driven protocols are native; hierarchical is per-column
+        by design (its adaptive round structure is a one-field oracle —
+        see tests/test_multifield.py for its fallback battery).  Any
+        drift here is a deliberate decision, not an accident."""
+        from repro.experiments.config import ALGORITHM_CLASSES, multifield_support
+
+        support = multifield_support(tuple(ALGORITHM_CLASSES))
+        assert support.pop("hierarchical") == "per-column"
+        assert set(support.values()) == {"native"}, support

@@ -19,17 +19,23 @@ on a routing-void instance where greedy forwarding fails.
 import numpy as np
 import pytest
 
-from protocol_equivalence import CASES, case_names, initial_values
+from protocol_equivalence import (
+    CASES,
+    case_names,
+    initial_field_matrix,
+    initial_values,
+)
 from repro.engine.batching import run_batched, split_streams
 from repro.gossip.geographic import GeographicGossip
 from repro.gossip.spatial import SpatialGossip
 from repro.graphs.rgg import RandomGeometricGraph
-from repro.metrics.error import normalized_error
+from repro.metrics.error import column_errors, normalized_error
 from repro.routing.cost import TransmissionCounter
 
 SEEDS = range(5)
 WINDOWS = 8
 WINDOW_TICKS = 250
+FIELDS = 4
 
 
 def _windowed_errors(case, seed):
@@ -160,6 +166,61 @@ class TestRoutingVoids:
 
         assert batched.failed_exchanges == scalar.failed_exchanges
         np.testing.assert_array_equal(batched_values, scalar_values)
+
+
+def _windowed_column_traces(case, seed, k=FIELDS):
+    """Multi-field analogue of ``_windowed_errors``: per-column curves."""
+    algorithm = case.factory()
+    initial = initial_field_matrix(k)
+    values = initial.copy()
+    counter = TransmissionCounter()
+    owner_rng, protocol_rng = split_streams(np.random.default_rng([seed, 1234]))
+    errors = [column_errors(values, initial)]
+    sums = [values.sum(axis=0)]
+    for _ in range(WINDOWS):
+        owners = owner_rng.integers(algorithm.n, size=WINDOW_TICKS)
+        algorithm.tick_block(owners, values, counter, protocol_rng)
+        errors.append(column_errors(values, initial))
+        sums.append(values.sum(axis=0))
+    return np.array(errors), np.array(sums), counter
+
+
+class TestMultiFieldInvariants:
+    """Per-column physics of stacked fields, fault-free and faulted.
+
+    The registry's faulted cases run churn + link failures + per-hop
+    loss, so these seed sweeps also pin the dynamics layer's (n, k)
+    mass accounting: dead-owner tick drops and abort-and-charge paths
+    must leave every column's sum untouched, not just column 0's.
+    """
+
+    @pytest.mark.parametrize("name", case_names(tick_driven=True))
+    def test_every_column_sum_conserved_through_every_window(self, name):
+        case = CASES[name]
+        reference = initial_field_matrix(FIELDS).sum(axis=0)
+        for seed in SEEDS:
+            _, sums, counter = _windowed_column_traces(case, seed)
+            # sums has shape (windows + 1, k): every window, every column.
+            np.testing.assert_allclose(
+                sums,
+                np.broadcast_to(reference, sums.shape),
+                rtol=0,
+                atol=1e-9 * max(1.0, float(np.abs(reference).max())),
+            )
+            assert counter.total > 0  # the windows actually exchanged
+
+    @pytest.mark.parametrize("name", case_names(tick_driven=True))
+    def test_every_column_error_monotone_on_average(self, name):
+        case = CASES[name]
+        curves = np.array(
+            [_windowed_column_traces(case, seed)[0] for seed in SEEDS]
+        )
+        averaged = curves.mean(axis=0)  # (windows + 1, k)
+        np.testing.assert_allclose(averaged[0], 1.0, rtol=1e-12)
+        # Monotone on average per column, same tolerance as the scalar
+        # invariant: noise-floor wiggles pass, systematic growth fails.
+        assert np.all(np.diff(averaged, axis=0) <= 1e-3 * averaged[:-1] + 5e-5)
+        assert np.all(averaged[-1] < 0.8 * averaged[0])
 
 
 def test_run_batched_converges_on_connected_instances():

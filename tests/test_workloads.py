@@ -6,7 +6,10 @@ import pytest
 from repro.geometry import random_points
 from repro.workloads import (
     FIELD_GENERATORS,
+    WORKLOADS,
+    build_field_matrix,
     checkerboard_field,
+    ensemble_field,
     gaussian_plume_field,
     linear_gradient_field,
     random_field,
@@ -113,3 +116,47 @@ class TestRegistry:
         for generator in FIELD_GENERATORS.values():
             with pytest.raises(ValueError):
                 generator(np.empty((0, 2)), rng)
+
+
+class TestStackedWorkloads:
+    """Shape and column-0 contracts of the multi-field builders.
+
+    (Exactness of the indicator stacks against NumPy answers, and the
+    end-to-end gossip runs over them, live in ``test_multifield.py``.)
+    """
+
+    def test_registry_names(self):
+        assert set(WORKLOADS) == {"ensemble", "quantile", "histogram"}
+
+    def test_every_workload_produces_n_by_k(self, positions):
+        for name in WORKLOADS:
+            matrix = build_field_matrix(
+                name, "random", positions, np.random.default_rng(23), 6
+            )
+            assert matrix.shape == (len(positions), 6), name
+
+    def test_every_workload_column0_is_the_scalar_field(self, positions):
+        for name in WORKLOADS:
+            matrix = build_field_matrix(
+                name, "gradient", positions, np.random.default_rng(29), 5
+            )
+            scalar = FIELD_GENERATORS["gradient"](
+                positions, np.random.default_rng(29)
+            )
+            np.testing.assert_array_equal(matrix[:, 0], scalar, err_msg=name)
+
+    def test_ensemble_columns_are_independent_draws(self, positions):
+        matrix = ensemble_field(positions, np.random.default_rng(31), k=4)
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert not np.array_equal(matrix[:, a], matrix[:, b])
+
+    def test_ensemble_rejects_unknown_base(self, positions):
+        with pytest.raises(ValueError):
+            ensemble_field(positions, np.random.default_rng(1), base="no-such")
+
+    def test_k_one_is_a_single_column(self, positions):
+        matrix = build_field_matrix(
+            "ensemble", "random", positions, np.random.default_rng(37), 1
+        )
+        assert matrix.shape == (len(positions), 1)
