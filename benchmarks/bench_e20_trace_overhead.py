@@ -1,0 +1,162 @@
+"""E20 — trace overhead: the cost of running under the event recorder.
+
+The observability layer's contract is "zero overhead off, cheap on":
+trace-off runs share the untraced code path byte for byte (one module
+read and an ``is None`` branch per emission site), and trace-on runs
+must stay close enough to untraced wall clock that tracing a sweep is a
+routine flag, not a special slow mode.
+
+Measured here, for the slow baseline (randomized) and the routed
+workhorse (geographic) at benchmark scale (n=256, stride 16): best-of-3
+wall clock of one engine run untraced vs the same run under an active
+:class:`~repro.observability.events.TraceRecorder`.  Asserted: the
+traced run is bit-identical to the untraced one (values, transmissions,
+ticks — the recorder is purely observational), its event stream replays
+bitwise through :func:`~repro.observability.replay.replay_events`, and
+the trace-on overhead is at most 30%.
+"""
+
+import time
+
+import numpy as np
+
+from _common import emit, emit_timing, timed_pedantic
+from repro.engine import build_instance, run_batched
+from repro.experiments import (
+    ExperimentConfig,
+    format_table,
+    make_algorithm,
+    spawn_rng,
+)
+from repro.observability import capture, replay_events, validate_result
+
+N = 256
+EPSILON = 0.1
+STRIDE = 16
+PROTOCOLS = ("randomized", "geographic")
+REPS = 3
+OVERHEAD_CEILING = 1.30
+
+
+def _run(name, graph, values, config, recorder_on: bool):
+    """One engine run; returns (result, seconds, events-or-None)."""
+    algorithm = make_algorithm(name, graph)
+    rng = spawn_rng(config.root_seed, "e20", name)
+    if recorder_on:
+        with capture() as recorder:
+            start = time.perf_counter()
+            result = run_batched(
+                algorithm, values, EPSILON, rng, check_stride=STRIDE
+            )
+            seconds = time.perf_counter() - start
+        return result, seconds, recorder.events
+    start = time.perf_counter()
+    result = run_batched(algorithm, values, EPSILON, rng, check_stride=STRIDE)
+    seconds = time.perf_counter() - start
+    return result, seconds, None
+
+
+def test_e20_trace_overhead(benchmark):
+    config = ExperimentConfig(
+        sizes=(N,), epsilon=EPSILON, trials=1, field="random"
+    )
+    graph, values = build_instance(config, N, 0)
+
+    def measure():
+        results = {}
+        for name in PROTOCOLS:
+            # Best-of-REPS on each side: the identical (seed, stride)
+            # run repeats bit for bit, so the minimum isolates the code
+            # path cost from scheduler noise.
+            untraced = [
+                _run(name, graph, values, config, recorder_on=False)
+                for _ in range(REPS)
+            ]
+            traced = [
+                _run(name, graph, values, config, recorder_on=True)
+                for _ in range(REPS)
+            ]
+            base_result = untraced[0][0]
+            traced_result, _, events = traced[0]
+
+            # Purely observational: the traced run IS the untraced run.
+            np.testing.assert_array_equal(
+                base_result.values,
+                traced_result.values,
+                err_msg=f"traced values differ ({name})",
+            )
+            assert base_result.transmissions == traced_result.transmissions
+            assert base_result.ticks == traced_result.ticks
+            assert base_result.error == traced_result.error
+
+            # And the captured stream replays the run bitwise.
+            validate_result(replay_events(events), traced_result)
+
+            results[name] = {
+                "untraced_seconds": min(s for _, s, _ in untraced),
+                "traced_seconds": min(s for _, s, _ in traced),
+                "events": len(events),
+                "ticks": base_result.ticks,
+            }
+        return results
+
+    results = timed_pedantic(
+        benchmark,
+        "e20_trace_overhead",
+        measure,
+        n=N,
+        epsilon=EPSILON,
+        check_stride=STRIDE,
+        reps=REPS,
+    )
+
+    rows = []
+    ratios = {}
+    for name, stats in results.items():
+        ratio = stats["traced_seconds"] / stats["untraced_seconds"]
+        ratios[name] = ratio
+        rows.append(
+            [
+                name,
+                stats["ticks"],
+                stats["events"],
+                round(stats["untraced_seconds"] * 1e3, 2),
+                round(stats["traced_seconds"] * 1e3, 2),
+                round(ratio, 3),
+            ]
+        )
+        emit_timing(
+            f"e20_{name}",
+            stats["traced_seconds"],
+            untraced_seconds=round(stats["untraced_seconds"], 6),
+            overhead_ratio=round(ratio, 4),
+            trace_events=stats["events"],
+            n=N,
+            epsilon=EPSILON,
+            check_stride=STRIDE,
+        )
+    emit(
+        "e20_trace_overhead",
+        format_table(
+            [
+                "protocol",
+                "ticks",
+                "events",
+                "untraced ms",
+                "traced ms",
+                "overhead",
+            ],
+            rows,
+            title=(
+                f"E20  trace-on vs trace-off wall clock "
+                f"(n={N}, eps={EPSILON}, stride {STRIDE}, best of {REPS})"
+            ),
+        ),
+    )
+
+    # The acceptance bar: tracing costs at most 30% at stride 16.
+    for name in PROTOCOLS:
+        assert ratios[name] <= OVERHEAD_CEILING, (name, ratios)
+    benchmark.extra_info.update(
+        {f"overhead_{k}": round(v, 3) for k, v in ratios.items()}
+    )

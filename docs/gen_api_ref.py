@@ -9,8 +9,8 @@ The CI docs job runs this before ``mkdocs build --strict``.
 The generator doubles as the documentation linter: every public symbol
 of the **strict packages** (``repro.gossip``, ``repro.engine``,
 ``repro.dynamics``, ``repro.routing``, ``repro.metrics``,
-``repro.workloads``) must carry a docstring, or the
-build fails — the
+``repro.workloads``, ``repro.observability``) must carry a docstring,
+or the build fails — the
 acceptance bar "every gossip/ and engine/ public symbol has a docstring
 rendered in the API reference" is enforced here (and re-checked by
 ``tests/test_docs.py``).
@@ -39,6 +39,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.metrics",
     "repro.workloads",
+    "repro.observability",
     "repro.clocks",
     "repro.geometry",
     "repro.viz",
@@ -52,6 +53,7 @@ STRICT_PACKAGES = (
     "repro.routing",
     "repro.metrics",
     "repro.workloads",
+    "repro.observability",
 )
 
 

@@ -1,17 +1,24 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows without writing any code:
+Five commands cover the common workflows without writing any code:
 
 * ``run``      — one algorithm, one field, one graph; prints the outcome
   and an ASCII view of the field before/after.
 * ``sweep``    — the scaling sweep (experiment E7) at chosen sizes.
 * ``inspect``  — build and display the hierarchy for a placement.
+* ``trace``    — one run under the structured event recorder; writes the
+  JSONL trace and draws its convergence/fault timeline.
+* ``replay``   — re-derive a trace's numbers from its events alone
+  (:mod:`repro.observability.replay`) and check them against the stored
+  cell records when the trace lives under a sweep store.
 
 ``run`` and ``sweep`` execute through :mod:`repro.engine`: ``--check-stride``
 selects the batched tick path (``1`` = the bit-identical legacy loop),
 ``--workers`` fans sweep grid cells across processes (identical results at
 any worker count), and ``--store-dir``/``--resume`` persist finished cells
-so an interrupted sweep continues instead of restarting.
+so an interrupted sweep continues instead of restarting.  ``sweep
+--trace`` additionally writes each fresh cell's event stream under
+``<store>/traces/`` (requires ``--store-dir``).
 
 Examples::
 
@@ -20,17 +27,25 @@ Examples::
     python -m repro sweep --sizes 256,512,1024 --workers 4 --check-stride 8 \
         --store-dir results --resume
     python -m repro inspect --n 1024 --leaf-threshold 24
+    python -m repro trace --algorithm geographic --n 256 --out run.jsonl
+    python -m repro replay run.jsonl
+    python -m repro sweep --sizes 128,256 --store-dir results --trace
+    python -m repro replay results
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
+from pathlib import Path
+
 from repro.dynamics import FaultSpec
 from repro.engine import ResultStore, build_faulted_algorithm, run_batched
+from repro.engine.executor import CellRecord, cell_traceable
 from repro.experiments import (
     ALGORITHMS,
     ExperimentConfig,
@@ -49,7 +64,8 @@ from repro.graphs.generators import (
 from repro.graphs.rgg import RandomGeometricGraph
 from repro.hierarchy.tree import HierarchyTree
 from repro.metrics.error import primary_field
-from repro.viz import render_field, render_hierarchy
+from repro.observability import ReplayError, events, replay_events, validate_record
+from repro.viz import render_field, render_hierarchy, render_timeline
 from repro.workloads.fields import FIELD_GENERATORS, WORKLOADS, build_field_matrix
 
 __all__ = ["main", "build_parser"]
@@ -228,6 +244,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --store-dir: reuse already-finished cells instead of "
         "starting fresh",
     )
+    sweep.add_argument(
+        "--trace",
+        action="store_true",
+        help="with --store-dir: write each fresh cell's structured event "
+        "stream under <store>/traces/ (validate with 'repro replay')",
+    )
     _add_multifield_flags(sweep)
     _add_fault_flags(sweep)
 
@@ -235,10 +257,65 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--n", type=int, default=1024)
     inspect.add_argument("--leaf-threshold", type=float, default=None)
     inspect.add_argument("--seed", type=int, default=20070801)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one algorithm under the event recorder; write the JSONL "
+        "trace and draw its timeline",
+    )
+    trace.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="randomized",
+        help="tick-driven protocols only (round-based runs suspend the "
+        "recorder)",
+    )
+    trace.add_argument("--n", type=int, default=256)
+    trace.add_argument("--epsilon", type=float, default=0.2)
+    trace.add_argument(
+        "--topology",
+        choices=topology_names(),
+        default="rgg",
+        help="graph family from the topology zoo (default: flat RGG)",
+    )
+    trace.add_argument(
+        "--field", choices=sorted(FIELD_GENERATORS), default="random"
+    )
+    trace.add_argument("--seed", type=int, default=20070801)
+    trace.add_argument(
+        "--check-stride",
+        type=_positive_int,
+        default=1,
+        help="engine error-check stride (1 = legacy bit-identical loop)",
+    )
+    trace.add_argument(
+        "--out",
+        default="trace.jsonl",
+        help="where to write the JSONL event stream",
+    )
+    _add_multifield_flags(trace)
+    _add_fault_flags(trace)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-derive a trace's numbers from its events and cross-check "
+        "them (bitwise) against what it recorded",
+    )
+    replay.add_argument(
+        "path",
+        help="a .jsonl trace file, a directory of traces, or a sweep "
+        "store root (every **/traces/*.jsonl is validated against its "
+        "stored cell record)",
+    )
     return parser
 
 
-def _command_run(args: argparse.Namespace) -> int:
+def _build_run_instance(args: argparse.Namespace):
+    """Graph, field, fault spec, and algorithm for one CLI run.
+
+    The one instance-building path ``run`` and ``trace`` share, so a
+    traced run reproduces the plain run at the same flags bit for bit.
+    """
     graph = build_topology(
         args.topology,
         args.n,
@@ -253,9 +330,6 @@ def _command_run(args: argparse.Namespace) -> int:
         values = build_field_matrix(
             args.workload, args.field, graph.positions, field_rng, args.fields
         )
-    if args.show_field:
-        print("initial field:")
-        print(render_field(graph.positions, primary_field(values)))
     spec = _fault_spec(args)
     _reject_fault_incompatible(spec, [args.algorithm])
     if spec.enabled:
@@ -267,6 +341,14 @@ def _command_run(args: argparse.Namespace) -> int:
         )
     else:
         algorithm = make_algorithm(args.algorithm, graph)
+    return graph, values, spec, algorithm
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    graph, values, spec, algorithm = _build_run_instance(args)
+    if args.show_field:
+        print("initial field:")
+        print(render_field(graph.positions, primary_field(values)))
     result = run_batched(
         algorithm,
         values,
@@ -317,6 +399,127 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0 if result.converged else 1
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    graph, values, spec, algorithm = _build_run_instance(args)
+    if not cell_traceable(algorithm, values):
+        _usage_error(
+            f"'{args.algorithm}' does not emit a coherent trace at these "
+            "flags (round-based protocols and per-column multi-field "
+            "fallbacks run nested runs, which suspend the recorder) — "
+            "pick a tick-driven protocol, or drop --fields"
+        )
+    with events.capture() as recorder:
+        result = run_batched(
+            algorithm,
+            values,
+            args.epsilon,
+            spawn_rng(args.seed, "cli-run", args.algorithm),
+            check_stride=args.check_stride,
+        )
+    path = recorder.write(args.out)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["algorithm", args.algorithm],
+                ["n", args.n],
+                ["converged", result.converged],
+                ["final error", result.error],
+                ["transmissions", result.total_transmissions],
+                ["ticks", result.ticks],
+                ["trace events", len(recorder)],
+                ["trace file", str(path)],
+            ],
+            title=f"traced run to ε={args.epsilon}",
+        )
+    )
+    print()
+    print(render_timeline(recorder.events))
+    return 0 if result.converged else 1
+
+
+def _trace_files(target: Path) -> list[Path]:
+    """The trace files a ``repro replay`` target names.
+
+    A ``.jsonl`` file replays alone; a directory holding traces replays
+    each of them; any other directory is treated as a sweep store root
+    and searched for ``**/traces/*.jsonl``.
+    """
+    if target.is_file():
+        return [target]
+    if target.is_dir():
+        direct = sorted(target.glob("*.jsonl"))
+        if direct:
+            return direct
+        return sorted(target.glob("**/traces/*.jsonl"))
+    return []
+
+
+def _trace_cell_record(trace: Path, start: dict) -> "CellRecord | None":
+    """The stored cell a sweep trace belongs to, when it can be found.
+
+    Sweep traces carry their ``(algorithm, n, trial)`` key in the start
+    event and live in ``<store cell dir>/traces/``, next to the
+    ``cells.jsonl`` their record was appended to.  Ad-hoc traces (``repro
+    trace``) carry no cell key and validate only internally.
+    """
+    cell = start.get("cell")
+    if not isinstance(cell, dict):
+        return None
+    records_path = trace.parent.parent / "cells.jsonl"
+    if not records_path.exists():
+        return None
+    try:
+        key = (str(cell["algorithm"]), int(cell["n"]), int(cell["trial"]))
+    except (KeyError, TypeError, ValueError):
+        return None
+    for line in records_path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = CellRecord.from_dict(json.loads(line))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            continue
+        if record.key == key:
+            return record
+    return None
+
+
+def _command_replay(args: argparse.Namespace) -> int:
+    target = Path(args.path)
+    traces = _trace_files(target)
+    if not traces:
+        _usage_error(
+            f"{target}: no trace found (expected a .jsonl file, a traces "
+            "directory, or a sweep store root)"
+        )
+    failures = 0
+    for trace in traces:
+        try:
+            trace_events = events.load_trace(trace)
+            replay = replay_events(trace_events)
+            start = trace_events[0] if trace_events else {}
+            record = _trace_cell_record(trace, start)
+            if record is not None:
+                validate_record(replay, record)
+        except (ReplayError, ValueError) as error:
+            failures += 1
+            print(f"FAIL {trace}: {error}")
+            continue
+        against = "trace + cell record" if record is not None else "trace"
+        print(
+            f"ok   {trace}: {replay.algorithm} n={replay.n} "
+            f"k={replay.fields} — {replay.transmissions['total']} tx, "
+            f"{replay.checks} checks replayed bitwise ({against})"
+        )
+    print(
+        f"\n{len(traces) - failures}/{len(traces)} traces replayed "
+        "and validated" + (f", {failures} FAILED" if failures else "")
+    )
+    return 1 if failures else 0
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     sizes = tuple(int(s) for s in args.sizes.split(","))
     algorithms = tuple(a.strip() for a in args.algorithms.split(","))
@@ -350,11 +553,15 @@ def _command_sweep(args: argparse.Namespace) -> int:
     elif args.resume:
         print("--resume requires --store-dir", file=sys.stderr)
         return 2
+    if args.trace and store is None:
+        print("--trace requires --store-dir", file=sys.stderr)
+        return 2
     sweep = run_scaling_sweep(
         config,
         workers=args.workers,
         check_stride=args.check_stride,
         store=store,
+        trace=args.trace,
     )
     rows = []
     for n in sizes:
@@ -398,6 +605,30 @@ def _command_sweep(args: argparse.Namespace) -> int:
             )
         print()
         print(format_table(["algorithm", "log-log slope"], slopes))
+    if any(p.wall_clock_mean is not None for ps in sweep.values() for p in ps):
+        timing_rows = []
+        for n in sizes:
+            row = [n]
+            for name in algorithms:
+                point = next(p for p in sweep[name] if p.n == n)
+                clock = point.wall_clock_mean
+                row.append("—" if clock is None else f"{clock * 1e3:,.1f}")
+            timing_rows.append(row)
+        print()
+        print(
+            format_table(
+                ["n", *algorithms],
+                timing_rows,
+                title="mean wall clock per cell (ms)",
+            )
+        )
+    if args.trace and store is not None:
+        traces = sorted((store.directory / "traces").glob("*.jsonl"))
+        print(
+            f"\ntraces: {len(traces)} JSONL event streams under "
+            f"{store.directory / 'traces'} "
+            f"(validate with: python -m repro replay {store.directory})"
+        )
     return 0
 
 
@@ -440,6 +671,8 @@ def main(argv: list[str] | None = None) -> int:
         "run": _command_run,
         "sweep": _command_sweep,
         "inspect": _command_inspect,
+        "trace": _command_trace,
+        "replay": _command_replay,
     }
     return handlers[args.command](args)
 

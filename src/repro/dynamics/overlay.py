@@ -61,6 +61,7 @@ from repro.dynamics.schedule import FaultSchedule, FaultSpec, LossChannel
 from repro.gossip.base import AsynchronousGossip
 from repro.graphs.rgg import RandomGeometricGraph
 from repro.metrics.error import deviation_norm, primary_field
+from repro.observability import events as _events
 from repro.routing.cache import CachedGreedyRouter
 from repro.routing.cost import TransmissionCounter
 from repro.routing.greedy import RouteResult
@@ -212,9 +213,23 @@ class DynamicSubstrate:
             self._apply_jitter(events.jitter)
             changed = None  # everything moved; signal a full invalidation
         if events.crash.any() or events.recover.any():
-            toggled = self._apply_churn(events.crash, events.recover)
+            toggled, crashed, recovered = self._apply_churn(
+                events.crash, events.recover
+            )
             if changed is not None:
                 changed.update(toggled)
+            if crashed or recovered:
+                recorder = _events.active()
+                if recorder is not None:
+                    recorder.emit(
+                        {
+                            "e": "epoch",
+                            "epoch": epoch,
+                            "tick": epoch * self.spec.epoch_ticks,
+                            "crashed": crashed,
+                            "recovered": recovered,
+                        }
+                    )
         # Link draws are sized by the *post-jitter* edge list — their
         # stream is separate from the node events precisely so this
         # ordering is safe (see FaultSchedule.link_events).
@@ -249,8 +264,14 @@ class DynamicSubstrate:
 
     def _apply_churn(
         self, crash: np.ndarray, recover: np.ndarray
-    ) -> set[int]:
-        """Toggle liveness; returns nodes whose adjacency may have changed."""
+    ) -> tuple[set[int], list[int], list[int]]:
+        """Toggle liveness.
+
+        Returns ``(toggled, crashed, recovered)``: the nodes whose
+        adjacency may have changed, plus the nodes that actually went
+        down / came back this epoch (post live-floor clamping — the
+        observable transitions, not the schedule's raw draws).
+        """
         floor = math.ceil(self.spec.min_live_fraction * self.n)
         candidates = np.nonzero(self.live & crash)[0]
         headroom = self.live_count - floor
@@ -258,17 +279,21 @@ class DynamicSubstrate:
             candidates = candidates[: max(headroom, 0)]
         recovering = np.nonzero(~self.live & recover)[0]
         toggled: set[int] = set()
+        crashed: list[int] = []
+        recovered: list[int] = []
         for node in candidates:
             self.live[node] = False
             self.crashes += 1
+            crashed.append(int(node))
             toggled.add(int(node))
             toggled.update(int(v) for v in self._base_neighbors[node])
         for node in recovering:
             self.live[node] = True
             self.recoveries += 1
+            recovered.append(int(node))
             toggled.add(int(node))
             toggled.update(int(v) for v in self._base_neighbors[node])
-        return toggled
+        return toggled, crashed, recovered
 
     def _apply_links(self, link_down: np.ndarray | None) -> set[int]:
         """Swap in this epoch's down-link set; returns affected endpoints."""
@@ -440,9 +465,17 @@ class LossyRouter:
         if delivered:
             if counter is not None and hops:
                 counter.charge(hops, category)
+                recorder = _events.active()
+                if recorder is not None:
+                    recorder.emit({"e": "route", "hops": hops, "cat": category})
             return result, False
         if counter is not None and attempted:
             counter.charge(attempted, self.LOST_CATEGORY)
+            recorder = _events.active()
+            if recorder is not None:
+                recorder.emit(
+                    {"e": "drop", "tx": attempted, "cat": self.LOST_CATEGORY}
+                )
         return (
             RouteResult(path=result.path[:attempted], delivered=False),
             True,
@@ -548,6 +581,9 @@ class DynamicGossip(AsynchronousGossip):
         self._tick += 1
         if not self.substrate.live[node]:
             self.wasted_ticks += 1
+            recorder = _events.active()
+            if recorder is not None:
+                recorder.emit({"e": "dead", "ticks": 1})
             return
         self.inner.tick(node, values, counter, rng)
 
@@ -566,6 +602,7 @@ class DynamicGossip(AsynchronousGossip):
         the same randomness) however the engine chunked the run, which is
         what keeps the block-size-invariance contract intact (tested).
         """
+        recorder = _events.active()
         epoch_ticks = self.substrate.spec.epoch_ticks
         start = self._tick
         total = len(owners)
@@ -581,6 +618,8 @@ class DynamicGossip(AsynchronousGossip):
             if dead:
                 self.wasted_ticks += dead
                 segment = segment[mask]
+                if recorder is not None:
+                    recorder.emit({"e": "dead", "ticks": dead})
             if segment.size:
                 self.inner.tick_block(segment, values, counter, rng)
             index = segment_end

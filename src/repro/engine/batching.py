@@ -43,6 +43,7 @@ from repro.gossip.base import (
 )
 from repro.metrics.error import normalized_error, result_column_errors
 from repro.metrics.trace import ConvergenceTrace
+from repro.observability import events as _events
 from repro.routing.cost import TransmissionCounter
 
 __all__ = [
@@ -307,25 +308,32 @@ def run_batched(
                 "every registered protocol's capability"
             )
         warnings.warn(message, MultiFieldFallbackWarning, stacklevel=2)
-        return _run_per_column(
-            algorithm,
-            initial_values,
-            epsilon,
-            rng,
-            check_stride=check_stride,
-            max_ticks=max_ticks,
-            block_size=block_size,
-            trace_thinning=trace_thinning,
-        )
+        # The fallback executes k whole runs inside this one; tracing
+        # them would interleave k start/end streams into one file, so
+        # the recorder is suspended (docs/observability.md lists the
+        # traceable configurations).
+        with _events.suspend():
+            return _run_per_column(
+                algorithm,
+                initial_values,
+                epsilon,
+                rng,
+                check_stride=check_stride,
+                max_ticks=max_ticks,
+                block_size=block_size,
+                trace_thinning=trace_thinning,
+            )
     if epsilon > 0:
         _warn_if_uncentered(algorithm, initial_values, epsilon)
     if not isinstance(algorithm, AsynchronousGossip):
         # Round-based protocols (e.g. the hierarchical executor) have no
         # global tick loop to batch or stride; they run their native
-        # recursion unchanged at every stride.
-        return algorithm.run(
-            initial_values, epsilon, rng, trace_thinning=trace_thinning
-        )
+        # recursion unchanged at every stride.  They also predate the
+        # tick-shaped event vocabulary, so tracing stays suspended.
+        with _events.suspend():
+            return algorithm.run(
+                initial_values, epsilon, rng, trace_thinning=trace_thinning
+            )
     if check_stride == 1:
         # Degenerate case: the legacy scalar loop, bit-identical.
         return algorithm.run(
@@ -364,6 +372,11 @@ def run_batched(
     trace = ConvergenceTrace(thinning=trace_thinning)
     error = normalized_error(values, initial_values)
     trace.force_record(0, 0, error)
+    recorder = _events.active()
+    if recorder is not None:
+        recorder.emit(
+            _events.start_event(algorithm, initial_values, epsilon, check_stride)
+        )
     ticks = 0
     converged = error <= epsilon
     while not converged and ticks < budget:
@@ -374,13 +387,30 @@ def run_batched(
             owners = owner_rng.integers(n, size=block)
             algorithm.tick_block(owners, values, counter, protocol_rng)
             done += block
+            if recorder is not None:
+                recorder.emit({"e": "batch", "ticks": block})
         ticks += window
         error = normalized_error(values, initial_values)
         trace.record(counter.total, ticks, error)
         converged = error <= epsilon
+        if recorder is not None:
+            recorder.emit(
+                {"e": "check", "ticks": ticks, "tx": counter.total, "error": error}
+            )
     error = normalized_error(values, initial_values)
     converged = error <= epsilon
     trace.force_record(counter.total, ticks, error)
+    if recorder is not None:
+        recorder.emit(
+            {
+                "e": "end",
+                "ticks": ticks,
+                "tx": counter.snapshot(),
+                "error": error,
+                "converged": converged,
+                "values": values.tolist(),
+            }
+        )
     return GossipRunResult(
         algorithm=algorithm.name,
         values=values,

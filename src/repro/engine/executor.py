@@ -19,11 +19,20 @@ stays in :mod:`repro.experiments.runner`, which sits above this module.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Mapping
 
-from repro.engine.batching import run_batched
+from repro.engine.batching import (
+    batching_capability,
+    multifield_capability,
+    run_batched,
+)
+from repro.gossip.base import AsynchronousGossip
+from repro.observability import events as _events
+from repro.observability.telemetry import collect_telemetry
 from repro.workloads.fields import FIELD_GENERATORS, build_field_matrix
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a layer cycle
@@ -37,6 +46,8 @@ __all__ = [
     "build_cell_algorithm",
     "build_faulted_algorithm",
     "build_instance",
+    "cell_trace_path",
+    "cell_traceable",
     "execute_cell",
     "expand_grid",
     "run_sweep_records",
@@ -80,6 +91,14 @@ class CellRecord:
     it is ``None`` for scalar cells and absent from their serialized
     form, so stores written before the multi-field engine existed load
     unchanged — the same back-compat rule ``faults`` follows.
+
+    ``wall_clock`` (seconds spent in the run itself) and ``telemetry``
+    (:func:`repro.observability.telemetry.collect_telemetry`'s flat
+    counters) follow the same omitted-when-absent rule, and are
+    additionally excluded from equality: two cells with identical
+    numbers *are* the same cell no matter how long the machine took, so
+    the serial-vs-parallel determinism tests and store resume semantics
+    stay byte-comparable.
     """
 
     algorithm: str
@@ -92,6 +111,8 @@ class CellRecord:
     error: float
     faults: Mapping[str, float] | None = None
     field_errors: tuple[float, ...] | None = None
+    wall_clock: float | None = field(default=None, compare=False)
+    telemetry: Mapping[str, float] | None = field(default=None, compare=False)
 
     @property
     def key(self) -> CellKey:
@@ -112,12 +133,20 @@ class CellRecord:
             del payload["field_errors"]
         else:
             payload["field_errors"] = list(self.field_errors)
+        if self.wall_clock is None:
+            del payload["wall_clock"]
+        if self.telemetry is None:
+            del payload["telemetry"]
+        else:
+            payload["telemetry"] = dict(self.telemetry)
         return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "CellRecord":
         faults = payload.get("faults")
         field_errors = payload.get("field_errors")
+        wall_clock = payload.get("wall_clock")
+        telemetry = payload.get("telemetry")
         return cls(
             algorithm=str(payload["algorithm"]),
             n=int(payload["n"]),
@@ -138,6 +167,12 @@ class CellRecord:
                 None
                 if field_errors is None
                 else tuple(float(v) for v in field_errors)
+            ),
+            wall_clock=None if wall_clock is None else float(wall_clock),
+            telemetry=(
+                None
+                if telemetry is None
+                else {str(k): float(v) for k, v in telemetry.items()}
             ),
         )
 
@@ -246,10 +281,46 @@ def build_cell_algorithm(
     )
 
 
+def cell_traceable(algorithm, values) -> bool:
+    """Whether a run of ``algorithm`` on ``values`` emits a coherent trace.
+
+    Tick-driven protocols emit the full event vocabulary.  The two
+    configurations whose runs execute *nested* runs — round-based
+    protocols and the per-column multi-field fallback — suspend the
+    recorder instead (see :func:`repro.engine.batching.run_batched`), so
+    a capture around them yields an empty trace; this predicate is how
+    callers distinguish "traced" from "trace suppressed".
+    """
+    if not isinstance(algorithm, AsynchronousGossip):
+        return False
+    values_ndim = getattr(values, "ndim", 1)
+    return values_ndim == 1 or multifield_capability(algorithm) == "native"
+
+
+def cell_trace_path(trace_dir: "str | Path", cell: SweepCell) -> Path:
+    """Where a cell's JSONL trace lands under ``trace_dir``."""
+    return Path(trace_dir) / (
+        f"{cell.algorithm}__n{cell.n}__t{cell.trial}.jsonl"
+    )
+
+
 def execute_cell(
-    config: ExperimentConfig, cell: SweepCell, check_stride: int = 1
+    config: ExperimentConfig,
+    cell: SweepCell,
+    check_stride: int = 1,
+    trace_dir: "str | Path | None" = None,
 ) -> CellRecord:
-    """Run one grid cell to ε and summarise it as a :class:`CellRecord`."""
+    """Run one grid cell to ε and summarise it as a :class:`CellRecord`.
+
+    With ``trace_dir`` set, the run executes under an active
+    :class:`~repro.observability.events.TraceRecorder` and its event
+    stream is written to :func:`cell_trace_path` — annotated with the
+    cell key so ``repro replay`` can match the trace to this record.
+    Untraceable cells (round-based protocols, per-column fallback runs)
+    run normally and write no file.  The capture happens here, inside
+    the (possibly worker-pool) process that runs the cell, so tracing
+    works identically under serial and parallel sweeps.
+    """
     from repro.experiments.seeds import spawn_rng
 
     graph, values = build_instance(config, cell.n, cell.trial)
@@ -257,8 +328,42 @@ def execute_cell(
         config, graph, cell.algorithm, cell.n, cell.trial
     )
     run_rng = spawn_rng(config.root_seed, "run", cell.algorithm, cell.n, cell.trial)
-    result = run_batched(
-        algorithm, values, config.epsilon, run_rng, check_stride=check_stride
+    tracing = trace_dir is not None and cell_traceable(algorithm, values)
+    trace_events = None
+    if tracing:
+        with _events.capture() as recorder:
+            started = time.perf_counter()
+            result = run_batched(
+                algorithm,
+                values,
+                config.epsilon,
+                run_rng,
+                check_stride=check_stride,
+            )
+            wall_clock = time.perf_counter() - started
+        recorder.annotate(
+            cell={"algorithm": cell.algorithm, "n": cell.n, "trial": cell.trial}
+        )
+        recorder.write(cell_trace_path(trace_dir, cell))
+        trace_events = len(recorder)
+    else:
+        started = time.perf_counter()
+        result = run_batched(
+            algorithm, values, config.epsilon, run_rng, check_stride=check_stride
+        )
+        wall_clock = time.perf_counter() - started
+    telemetry = collect_telemetry(
+        algorithm,
+        wall_clock=wall_clock,
+        ticks=result.ticks,
+        scalar_fallback=(
+            check_stride > 1 and batching_capability(algorithm) == "scalar"
+        ),
+        multifield_fallback=(
+            getattr(values, "ndim", 1) == 2
+            and multifield_capability(algorithm) != "native"
+        ),
+        trace_events=trace_events,
     )
     fault_metrics = getattr(algorithm, "fault_metrics", None)
     return CellRecord(
@@ -280,6 +385,8 @@ def execute_cell(
             if result.column_errors is None
             else tuple(float(v) for v in result.column_errors)
         ),
+        wall_clock=wall_clock,
+        telemetry=telemetry,
     )
 
 
@@ -290,6 +397,7 @@ def run_sweep_records(
     check_stride: int = 1,
     store: "ResultStore | None" = None,
     on_record: Callable[[CellRecord, bool], None] | None = None,
+    trace: bool = False,
 ) -> dict[CellKey, CellRecord]:
     """Execute (or resume) a sweep grid; returns records keyed by cell.
 
@@ -313,9 +421,20 @@ def run_sweep_records(
     on_record:
         Optional callback ``(record, fresh)`` invoked once per grid cell —
         ``fresh`` is False for cells reused from the store.
+    trace:
+        Capture each freshly executed cell's structured event stream and
+        write it as JSONL under ``<store.directory>/traces/`` (requires
+        ``store`` — traces live alongside the cells they explain, under
+        the same content key).  Cells resumed from the store are not
+        re-run and get no trace.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if trace and store is None:
+        raise ValueError(
+            "trace=True stores each cell's JSONL alongside the ResultStore "
+            "cells; pass a store (traces have no home without one)"
+        )
     if store is not None and store.check_stride != check_stride:
         raise ValueError(
             f"store was keyed for check_stride={store.check_stride} but the "
@@ -333,6 +452,7 @@ def run_sweep_records(
                 if on_record is not None:
                     on_record(record, False)
     pending = [cell for cell in grid if cell.key not in records]
+    trace_dir = store.directory / "traces" if trace else None
 
     def _finish(record: CellRecord) -> None:
         records[record.key] = record
@@ -343,11 +463,11 @@ def run_sweep_records(
 
     if workers == 1 or len(pending) <= 1:
         for cell in pending:
-            _finish(execute_cell(config, cell, check_stride))
+            _finish(execute_cell(config, cell, check_stride, trace_dir))
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(execute_cell, config, cell, check_stride)
+                pool.submit(execute_cell, config, cell, check_stride, trace_dir)
                 for cell in pending
             ]
             for future in as_completed(futures):

@@ -57,22 +57,28 @@ def sweep_to_dict(
             "algorithms": list(config.algorithms),
         },
         "points": {
-            name: [
-                {
-                    "n": point.n,
-                    "transmissions_mean": point.transmissions_mean,
-                    "transmissions_std": point.transmissions_std,
-                    "converged_fraction": point.converged_fraction,
-                    "trials": point.trials,
-                }
-                for point in points
-            ]
+            name: [_point_to_dict(point) for point in points]
             for name, points in sweep.items()
         },
     }
     if engine is not None:
         payload["engine"] = dict(engine)
     return payload
+
+
+def _point_to_dict(point: ScalingPoint) -> dict:
+    """One point's JSON entry; timing is omitted-when-absent so reports
+    from pre-timing stores serialise exactly as they always did."""
+    entry = {
+        "n": point.n,
+        "transmissions_mean": point.transmissions_mean,
+        "transmissions_std": point.transmissions_std,
+        "converged_fraction": point.converged_fraction,
+        "trials": point.trials,
+    }
+    if point.wall_clock_mean is not None:
+        entry["wall_clock_mean"] = point.wall_clock_mean
+    return entry
 
 
 def sweep_from_store(store: ResultStore) -> dict[str, list[ScalingPoint]]:
@@ -91,6 +97,11 @@ def sweep_from_dict(payload: Mapping) -> dict[str, list[ScalingPoint]]:
                 transmissions_std=float(entry["transmissions_std"]),
                 converged_fraction=float(entry["converged_fraction"]),
                 trials=int(entry["trials"]),
+                wall_clock_mean=(
+                    float(entry["wall_clock_mean"])
+                    if entry.get("wall_clock_mean") is not None
+                    else None
+                ),
             )
             for entry in entries
         ]
@@ -132,7 +143,41 @@ def render_markdown(
             lines.append(f"| {name} | {slope:.3f} |")
         else:
             lines.append(f"| {name} | n/a |")
+    timing = _render_timing_table(config, sweep, names)
+    if timing:
+        lines.append("")
+        lines.extend(timing)
     return "\n".join(lines)
+
+
+def _render_timing_table(
+    config: ExperimentConfig,
+    sweep: Mapping[str, Sequence[ScalingPoint]],
+    names: Sequence[str],
+) -> list[str]:
+    """Mean per-cell wall clock (ms), only when any point carries one.
+
+    Reports over pre-timing stores produce no timing section at all, so
+    their rendered output is byte-identical to the historical report.
+    """
+    if not any(
+        point.wall_clock_mean is not None
+        for name in names
+        for point in sweep[name]
+    ):
+        return []
+    lines = [
+        "| n (wall clock, ms/cell) | " + " | ".join(names) + " |",
+        "|---|" + "|".join(["---"] * len(names)) + "|",
+    ]
+    for n in config.sizes:
+        cells = []
+        for name in names:
+            point = next((p for p in sweep[name] if p.n == n), None)
+            clock = point.wall_clock_mean if point else None
+            cells.append(f"{clock * 1e3:,.1f}" if clock is not None else "—")
+        lines.append(f"| {n} | " + " | ".join(cells) + " |")
+    return lines
 
 
 def save_json(

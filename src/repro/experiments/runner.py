@@ -64,7 +64,15 @@ class ConvergenceRun:
 
 @dataclass
 class ScalingPoint:
-    """Aggregated transmissions for one (algorithm, n) cell."""
+    """Aggregated transmissions for one (algorithm, n) cell.
+
+    ``wall_clock_mean`` is the mean per-cell run time in seconds; it is
+    ``None`` when any contributing record predates per-cell timing (old
+    stores), mirroring the record-level omitted-when-absent rule.  Like
+    :class:`~repro.engine.executor.CellRecord`'s timing fields it is
+    excluded from equality: two points with identical numbers are the
+    same point no matter how long the machine took to produce them.
+    """
 
     algorithm: str
     n: int
@@ -72,6 +80,7 @@ class ScalingPoint:
     transmissions_std: float
     converged_fraction: float
     trials: int
+    wall_clock_mean: float | None = field(default=None, compare=False)
 
 
 def run_convergence(
@@ -111,6 +120,7 @@ def run_scaling_sweep(
     workers: int = 1,
     check_stride: int = 1,
     store: ResultStore | None = None,
+    trace: bool = False,
 ) -> dict[str, list[ScalingPoint]]:
     """The E7 sweep: transmissions-to-ε for every algorithm and size.
 
@@ -126,18 +136,38 @@ def run_scaling_sweep(
     store:
         Optional result store — finished cells are persisted as they
         complete and already-stored cells are skipped (resume semantics).
+    trace:
+        Write each freshly executed cell's structured event trace under
+        ``<store.directory>/traces/`` (requires ``store``); see
+        :func:`repro.engine.executor.run_sweep_records`.
     """
     records = run_sweep_records(
-        config, workers=workers, check_stride=check_stride, store=store
+        config,
+        workers=workers,
+        check_stride=check_stride,
+        store=store,
+        trace=trace,
     )
     return aggregate_records(config, records)
 
 
 def _aggregate_point(
-    algorithm: str, n: int, totals: list[int], converged: list[bool]
+    algorithm: str,
+    n: int,
+    totals: list[int],
+    converged: list[bool],
+    wall_clocks: "list[float | None] | None" = None,
 ) -> ScalingPoint:
-    """The one aggregation formula both result paths share."""
+    """The one aggregation formula both result paths share.
+
+    ``wall_clock_mean`` is only computed when *every* trial carries a
+    timing — a mean over a mixed old/new store would silently average a
+    different trial population than the transmissions column.
+    """
     counts = np.array(totals, dtype=np.float64)
+    wall_clock_mean = None
+    if wall_clocks and all(clock is not None for clock in wall_clocks):
+        wall_clock_mean = float(np.mean(wall_clocks))
     return ScalingPoint(
         algorithm=algorithm,
         n=n,
@@ -145,6 +175,7 @@ def _aggregate_point(
         transmissions_std=float(counts.std()),
         converged_fraction=float(np.mean(converged)),
         trials=len(totals),
+        wall_clock_mean=wall_clock_mean,
     )
 
 
@@ -188,6 +219,7 @@ def aggregate_records(
                     n,
                     [c.total_transmissions for c in cells],
                     [c.converged for c in cells],
+                    [c.wall_clock for c in cells],
                 )
             )
     return sweep

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gossip.base import AsynchronousGossip
+from repro.observability import events as _events
 from repro.routing.cost import TransmissionCounter
 
 __all__ = [
@@ -132,6 +133,13 @@ class AffineGossipKn(AsynchronousGossip):
             values, node, partner, self.alphas[node], self.alphas[partner]
         )
         counter.charge(2, "exchange")
+        recorder = _events.active()
+        if recorder is not None:
+            # The per-node alphas ride the start event once; each event
+            # only needs the pair.
+            recorder.emit(
+                {"e": "pairs", "op": "affine", "pairs": [[node, partner]]}
+            )
 
     def tick_block(
         self,
@@ -152,6 +160,8 @@ class AffineGossipKn(AsynchronousGossip):
         picks = rng.random(len(owners))
         alphas = self.alphas
         last = self.n - 1
+        recorder = _events.active()
+        pairs = [] if recorder is not None else None
         for node, pick in zip(owners.tolist(), picks.tolist()):
             partner = int(pick * last)
             if partner >= node:
@@ -159,8 +169,12 @@ class AffineGossipKn(AsynchronousGossip):
             affine_pair_update(
                 values, node, partner, alphas[node], alphas[partner]
             )
+            if pairs is not None:
+                pairs.append([node, partner])
         if len(owners):
             counter.charge(2 * len(owners), "exchange")
+            if pairs is not None:
+                recorder.emit({"e": "pairs", "op": "affine", "pairs": pairs})
 
     def tick_budget(self, epsilon: float) -> int:
         # Lemma 1: rate (1 - 1/2n) per tick => ~2n·log(1/ε²) ticks; 30x slack.
@@ -212,6 +226,16 @@ class PerturbedAffineGossipKn(AffineGossipKn):
         values[node] += nu
         values[partner] -= nu
         counter.charge(2, "exchange")
+        recorder = _events.active()
+        if recorder is not None:
+            recorder.emit(
+                {
+                    "e": "pairs",
+                    "op": "affine",
+                    "pairs": [[node, partner]],
+                    "nus": [float(nu)],
+                }
+            )
 
     def tick_block(
         self,
@@ -232,6 +256,9 @@ class PerturbedAffineGossipKn(AffineGossipKn):
         alphas = self.alphas
         last = self.n - 1
         bound = self.noise_bound
+        recorder = _events.active()
+        pairs = [] if recorder is not None else None
+        nus = [] if recorder is not None else None
         for index, node in enumerate(owners.tolist()):
             partner = int(draws[index, 0] * last)
             if partner >= node:
@@ -245,5 +272,12 @@ class PerturbedAffineGossipKn(AffineGossipKn):
             nu = (2.0 * draws[index, 1] - 1.0) * bound
             values[node] += nu
             values[partner] -= nu
+            if pairs is not None:
+                pairs.append([node, partner])
+                nus.append(nu)
         if len(owners):
             counter.charge(2 * len(owners), "exchange")
+            if pairs is not None:
+                recorder.emit(
+                    {"e": "pairs", "op": "affine", "pairs": pairs, "nus": nus}
+                )

@@ -25,6 +25,7 @@ from repro.metrics.error import (
     result_column_errors,
 )
 from repro.metrics.trace import ConvergenceTrace
+from repro.observability import events as _events
 from repro.routing.cost import TransmissionCounter
 
 __all__ = ["GossipRunResult", "AsynchronousGossip", "check_state_shape"]
@@ -238,6 +239,9 @@ class AsynchronousGossip(ABC):
 
         error = normalized_error(values, initial_values)
         trace.force_record(0, 0, error)
+        recorder = _events.active()
+        if recorder is not None:
+            recorder.emit(_events.start_event(self, initial_values, epsilon, 1))
         ticks = 0
         converged = error <= epsilon
         while not converged and ticks < budget:
@@ -248,9 +252,29 @@ class AsynchronousGossip(ABC):
                 error = normalized_error(values, initial_values)
                 trace.record(counter.total, ticks, error)
                 converged = error <= epsilon
+                if recorder is not None:
+                    recorder.emit(
+                        {
+                            "e": "check",
+                            "ticks": ticks,
+                            "tx": counter.total,
+                            "error": error,
+                        }
+                    )
         error = normalized_error(values, initial_values)
         converged = error <= epsilon
         trace.force_record(counter.total, ticks, error)
+        if recorder is not None:
+            recorder.emit(
+                {
+                    "e": "end",
+                    "ticks": ticks,
+                    "tx": counter.snapshot(),
+                    "error": error,
+                    "converged": converged,
+                    "values": values.tolist(),
+                }
+            )
         return GossipRunResult(
             algorithm=self.name,
             values=values,

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.gossip.base import AsynchronousGossip
 from repro.graphs.rgg import RandomGeometricGraph
+from repro.observability import events as _events
 from repro.routing.cache import CachedGreedyRouter
 from repro.routing.cost import TransmissionCounter
 from repro.routing.greedy import GreedyRouter
@@ -93,13 +94,22 @@ class GeographicGossip(AsynchronousGossip):
         if target is None or target == node:
             return
         forward, backward = self.router.round_trip(node, target, counter)
+        recorder = _events.active()
         if not (forward.delivered and backward.delivered):
             # A routing void: abort with no update so the sum is conserved.
             self.failed_exchanges += 1
+            if recorder is not None:
+                recorder.emit({"e": "abort"})
             return
         average = 0.5 * (values[node] + values[target])
         values[node] = average
         values[target] = average
+        if recorder is not None:
+            # No "cat": the routed cost was charged (and emitted) at the
+            # router layer; this event carries only the value update.
+            recorder.emit(
+                {"e": "pairs", "op": "avg", "pairs": [[node, target]]}
+            )
 
     def tick_block(
         self,
@@ -142,16 +152,24 @@ class GeographicGossip(AsynchronousGossip):
                 for index in range(len(owners))
             ]
         route = self.route_cache.round_trip
+        recorder = _events.active()
+        pairs = [] if recorder is not None else None
         for node, target in zip(owners.tolist(), targets):
             if target == node:
                 continue
             forward, backward = route(node, target, counter)
             if not (forward.delivered and backward.delivered):
                 self.failed_exchanges += 1
+                if recorder is not None:
+                    recorder.emit({"e": "abort"})
                 continue
             average = 0.5 * (values[node] + values[target])
             values[node] = average
             values[target] = average
+            if pairs is not None:
+                pairs.append([node, target])
+        if pairs:
+            recorder.emit({"e": "pairs", "op": "avg", "pairs": pairs})
 
     def tick_budget(self, epsilon: float) -> int:
         # O(n log(1/ε)) exchanges suffice (complete-graph mixing); 40x slack.
@@ -194,5 +212,8 @@ class GeographicGossip(AsynchronousGossip):
                 )
                 if not (forward.delivered and backward.delivered):
                     self.failed_exchanges += 1
+                    recorder = _events.active()
+                    if recorder is not None:
+                        recorder.emit({"e": "abort"})
                     return None
         return None

@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.gossip.base import AsynchronousGossip
 from repro.graphs.rgg import RandomGeometricGraph
+from repro.observability import events as _events
 from repro.routing.cache import CachedGreedyRouter
 from repro.routing.cost import TransmissionCounter
 from repro.routing.greedy import GreedyRouter
@@ -134,6 +135,7 @@ class PathAveragingGossip(AsynchronousGossip):
             if not route.delivered:
                 # A routing void: abort with no update so the sum is conserved.
                 self.failed_exchanges += 1
+                self._emit_abort()
                 return
         else:
             route = self.router.route_to_position(node, rng.random(2), counter)
@@ -141,6 +143,7 @@ class PathAveragingGossip(AsynchronousGossip):
                 # Only a lossy substrate can sever a position walk; the
                 # packet (and its running sum) died in flight — abort.
                 self.failed_exchanges += 1
+                self._emit_abort()
                 return
         self._average_route(route.path, route.hops, values, counter)
 
@@ -175,6 +178,7 @@ class PathAveragingGossip(AsynchronousGossip):
                 route = route_to_node(node, target, counter)
                 if not route.delivered:
                     self.failed_exchanges += 1
+                    self._emit_abort()
                     continue
                 self._average_route(route.path, route.hops, values, counter)
         else:
@@ -185,6 +189,7 @@ class PathAveragingGossip(AsynchronousGossip):
                 )
                 if not route.delivered:
                     self.failed_exchanges += 1
+                    self._emit_abort()
                     continue
                 self._average_route(route.path, route.hops, values, counter)
 
@@ -228,16 +233,31 @@ class PathAveragingGossip(AsynchronousGossip):
         """
         if hops < 1:
             return
+        recorder = _events.active()
         if self.flash_channel is not None:
             delivered, attempted = self.flash_channel.attempt(hops)
             if not delivered:
                 counter.charge(attempted, "route_lost")
                 self.failed_exchanges += 1
+                if recorder is not None:
+                    recorder.emit(
+                        {"e": "drop", "tx": attempted, "cat": "route_lost"}
+                    )
+                    recorder.emit({"e": "abort"})
                 return
         counter.charge(hops, "route")
         nodes = np.asarray(path, dtype=np.int64)
+        if recorder is not None:
+            # "flash" is the reverse-broadcast hop count charged above;
+            # the forward hops were emitted by the routing layer.
+            recorder.emit({"e": "path", "nodes": list(path), "flash": hops})
         block = values[nodes]
         if block.ndim == 1:
             values[nodes] = block.mean()
         else:
             values[nodes] = np.ascontiguousarray(block.T).mean(axis=1)
+
+    def _emit_abort(self) -> None:
+        recorder = _events.active()
+        if recorder is not None:
+            recorder.emit({"e": "abort"})

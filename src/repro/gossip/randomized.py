@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gossip.base import AsynchronousGossip
+from repro.observability import events as _events
 from repro.routing.cost import TransmissionCounter
 
 __all__ = ["RandomizedGossip"]
@@ -72,6 +73,11 @@ class RandomizedGossip(AsynchronousGossip):
         values[node] = average
         values[partner] = average
         counter.charge(2, "near")
+        recorder = _events.active()
+        if recorder is not None:
+            recorder.emit(
+                {"e": "pairs", "op": "avg", "cat": "near", "pairs": [[node, partner]]}
+            )
 
     def _exchange_survives(self, counter: TransmissionCounter) -> bool:
         """Subject one send+reply exchange to the loss channel, if any.
@@ -89,6 +95,10 @@ class RandomizedGossip(AsynchronousGossip):
             return True
         counter.charge(attempted, "near_lost")
         self.failed_exchanges += 1
+        recorder = _events.active()
+        if recorder is not None:
+            recorder.emit({"e": "drop", "tx": attempted, "cat": "near_lost"})
+            recorder.emit({"e": "abort"})
         return False
 
     def tick_block(
@@ -116,6 +126,8 @@ class RandomizedGossip(AsynchronousGossip):
         picks = rng.random(len(owners))
         exchanges = 0
         multifield = values.ndim == 2
+        recorder = _events.active()
+        pairs = [] if recorder is not None else None
         for node, pick in zip(owners.tolist(), picks.tolist()):
             adjacency = self.neighbors[node]
             if adjacency.size == 0:
@@ -133,8 +145,14 @@ class RandomizedGossip(AsynchronousGossip):
                 values[node] = average
                 values[partner] = average
             exchanges += 1
+            if pairs is not None:
+                pairs.append([node, partner])
         if exchanges:
             counter.charge(2 * exchanges, "near")
+            if pairs is not None:
+                recorder.emit(
+                    {"e": "pairs", "op": "avg", "cat": "near", "pairs": pairs}
+                )
 
     def tick_budget(self, epsilon: float) -> int:
         # T_ave = Θ(n²/log n · log(1/ε)) ticks on an RGG; allow 20x headroom.

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.gossip.base import AsynchronousGossip
 from repro.graphs.rgg import RandomGeometricGraph
+from repro.observability import events as _events
 from repro.routing.cache import CachedGreedyRouter
 from repro.routing.cost import TransmissionCounter
 from repro.routing.greedy import GreedyRouter
@@ -102,12 +103,20 @@ class SpatialGossip(AsynchronousGossip):
         if target == node:
             return
         forward, backward = self.router.round_trip(node, target, counter)
+        recorder = _events.active()
         if not (forward.delivered and backward.delivered):
             self.failed_exchanges += 1
+            if recorder is not None:
+                recorder.emit({"e": "abort"})
             return
         average = 0.5 * (values[node] + values[target])
         values[node] = average
         values[target] = average
+        if recorder is not None:
+            # Routed cost already emitted at the router layer (no "cat").
+            recorder.emit(
+                {"e": "pairs", "op": "avg", "pairs": [[node, target]]}
+            )
 
     def tick_block(
         self,
@@ -127,6 +136,8 @@ class SpatialGossip(AsynchronousGossip):
         cumulative = self._cumulative
         route = self.route_cache.round_trip
         last = self.n - 1
+        recorder = _events.active()
+        pairs = [] if recorder is not None else None
         for node, pick in zip(owners.tolist(), picks.tolist()):
             target = min(int(np.searchsorted(cumulative[node], pick)), last)
             if target == node:
@@ -134,10 +145,16 @@ class SpatialGossip(AsynchronousGossip):
             forward, backward = route(node, target, counter)
             if not (forward.delivered and backward.delivered):
                 self.failed_exchanges += 1
+                if recorder is not None:
+                    recorder.emit({"e": "abort"})
                 continue
             average = 0.5 * (values[node] + values[target])
             values[node] = average
             values[target] = average
+            if pairs is not None:
+                pairs.append([node, target])
+        if pairs:
+            recorder.emit({"e": "pairs", "op": "avg", "pairs": pairs})
 
     def tick_budget(self, epsilon: float) -> int:
         # Between randomized (n²) and geographic (n); allow the worst.

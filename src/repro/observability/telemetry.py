@@ -1,0 +1,79 @@
+"""Run telemetry: lightweight counters and timers for sweep cells.
+
+Complements the event stream with always-cheap aggregates: wall-clock
+throughput, route-cache effectiveness, and which engine fallbacks a cell
+hit.  The sweep executor collects one flat ``{name: float}`` mapping per
+cell (:func:`collect_telemetry`) and stores it on the
+:class:`~repro.engine.executor.CellRecord` — excluded from record
+equality, omitted from serialisation when absent, so deterministic
+record comparisons and old stores are both unaffected.
+
+Everything here duck-types its inputs (stdlib only, no ``repro``
+imports): this module is a leaf the engine layers can import freely.
+
+>>> collect_telemetry(object(), wall_clock=2.0, ticks=1000)
+{'ticks_per_sec': 500.0, 'scalar_fallback': 0.0, 'multifield_fallback': 0.0}
+"""
+
+from __future__ import annotations
+
+__all__ = ["cache_stats", "collect_telemetry"]
+
+
+def cache_stats(algorithm) -> "dict[str, float] | None":
+    """Route-cache counters of ``algorithm``'s memoized router, if any.
+
+    Unwraps one :class:`~repro.dynamics.overlay.DynamicGossip` layer
+    (``algorithm.inner``) and one
+    :class:`~repro.dynamics.overlay.LossyRouter` layer
+    (``route_cache.inner``) to reach the underlying
+    :class:`~repro.routing.cache.CachedGreedyRouter`; protocols without
+    a route cache (randomized, the affine comparators) return ``None``.
+    """
+    inner = getattr(algorithm, "inner", algorithm)
+    cache = getattr(inner, "route_cache", None)
+    if cache is None:
+        return None
+    cache = getattr(cache, "inner", cache)
+    if getattr(cache, "hits", None) is None:
+        return None
+    return {
+        "cache_hits": float(cache.hits),
+        "cache_misses": float(cache.misses),
+        "cache_invalidations": float(cache.invalidations),
+        "cache_repairs": float(getattr(cache, "repairs", 0)),
+        "cache_drops": float(getattr(cache, "drops", 0)),
+    }
+
+
+def collect_telemetry(
+    algorithm,
+    *,
+    wall_clock: float,
+    ticks: int,
+    scalar_fallback: bool = False,
+    multifield_fallback: bool = False,
+    trace_events: "int | None" = None,
+) -> dict[str, float]:
+    """One cell's flat telemetry mapping.
+
+    Always present: ``ticks_per_sec`` and the fallback indicators
+    (``1.0`` when the cell hit the engine's scalar-tick or per-column
+    multi-field fallback — the run is correct but missed a fast path).
+    Added when applicable: the route-cache counters of
+    :func:`cache_stats` and ``trace_events`` (events captured when the
+    cell ran traced).
+    """
+    telemetry = {
+        "ticks_per_sec": (
+            float(ticks) / wall_clock if wall_clock > 0 else 0.0
+        ),
+        "scalar_fallback": 1.0 if scalar_fallback else 0.0,
+        "multifield_fallback": 1.0 if multifield_fallback else 0.0,
+    }
+    stats = cache_stats(algorithm)
+    if stats is not None:
+        telemetry.update(stats)
+    if trace_events is not None:
+        telemetry["trace_events"] = float(trace_events)
+    return telemetry

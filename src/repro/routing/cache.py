@@ -44,6 +44,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.rgg import RandomGeometricGraph
+from repro.observability import events as _events
 from repro.routing.cost import TransmissionCounter
 from repro.routing.greedy import GreedyRouter, RouteResult
 
@@ -86,6 +87,11 @@ class CachedGreedyRouter:
         #: Number of :meth:`invalidate` calls served (observability for
         #: the dynamics layer, which invalidates per epoch transition).
         self.invalidations = 0
+        #: Row-repairs applied in place / columns dropped wholesale by
+        #: :meth:`invalidate` — distinguishes cheap targeted patching
+        #: from cache-flushing churn in the telemetry.
+        self.repairs = 0
+        self.drops = 0
         self._refresh_adjacency()
 
     def _refresh_adjacency(self) -> None:
@@ -152,6 +158,13 @@ class CachedGreedyRouter:
             current = nxt
         if counter is not None and len(path) > 1:
             counter.charge(len(path) - 1, category)
+            # Same emit-at-the-charge-site rule as GreedyRouter: callers
+            # holding counter=None are accounted for at their own layer.
+            recorder = _events.active()
+            if recorder is not None:
+                recorder.emit(
+                    {"e": "route", "hops": len(path) - 1, "cat": category}
+                )
         return RouteResult(path=tuple(path), delivered=current == target_node)
 
     def round_trip(
@@ -209,12 +222,14 @@ class CachedGreedyRouter:
         if nodes is None:
             dropped = len(self._columns)
             self._columns.clear()
+            self.drops += dropped
             return dropped
         positions = self.router._positions
         for target_node, column in self._columns.items():
             target = positions[target_node]
             for u in rows:
                 column[u] = self._next_hop(u, target)
+        self.repairs += len(rows) * len(self._columns)
         return len(self._columns)
 
     def _next_hop(self, u: int, target: np.ndarray) -> int:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graphs.rgg import RandomGeometricGraph
+from repro.observability import events as _events
 from repro.routing.cost import TransmissionCounter
 
 __all__ = ["RouteResult", "GreedyRouter"]
@@ -89,6 +90,14 @@ class GreedyRouter:
             current, current_sq = next_node, next_sq
         if counter is not None and len(path) > 1:
             counter.charge(len(path) - 1, category)
+            # Emitted only where the charge happens: callers that pass
+            # counter=None (cache probes, the lossy wrapper's inner
+            # routes) are accounted for at their own layer.
+            recorder = _events.active()
+            if recorder is not None:
+                recorder.emit(
+                    {"e": "route", "hops": len(path) - 1, "cat": category}
+                )
         return RouteResult(path=tuple(path), delivered=True)
 
     def route_to_node(

@@ -7,9 +7,21 @@ ASCII/Unicode blocks — enough to eyeball a run from an SSH session:
   square;
 * :func:`~repro.viz.ascii.render_curve` — log-scale convergence curves;
 * :func:`~repro.viz.ascii.render_hierarchy` — the square hierarchy with
-  supernode positions.
+  supernode positions;
+* :func:`~repro.viz.ascii.render_timeline` — a structured trace's error
+  decay and crash/recover epochs over the tick axis.
 """
 
-from repro.viz.ascii import render_curve, render_field, render_hierarchy
+from repro.viz.ascii import (
+    render_curve,
+    render_field,
+    render_hierarchy,
+    render_timeline,
+)
 
-__all__ = ["render_curve", "render_field", "render_hierarchy"]
+__all__ = [
+    "render_curve",
+    "render_field",
+    "render_hierarchy",
+    "render_timeline",
+]

@@ -11,7 +11,7 @@ import math
 
 import numpy as np
 
-__all__ = ["render_field", "render_curve", "render_hierarchy"]
+__all__ = ["render_field", "render_curve", "render_hierarchy", "render_timeline"]
 
 #: Dark-to-bright character ramp for heat-maps.
 _RAMP = " .:-=+*#%@"
@@ -104,6 +104,89 @@ def render_curve(
     lines.append(" " * 10 + "+" + "-" * width)
     lines.append(f"{'':>10} {x_low:.3g}" + " " * max(1, width - 18) + f"{x_high:.3g}")
     return "\n".join(line for line in lines if line != "")
+
+
+def render_timeline(
+    events: list,
+    width: int = 64,
+    height: int = 12,
+) -> str:
+    """Error decay plus crash/recover epochs from one structured trace.
+
+    Takes the event list of a
+    :class:`~repro.observability.events.TraceRecorder` (or a file loaded
+    via :func:`~repro.observability.events.load_trace`) and draws the
+    recorded convergence checks as a log-scaled error curve over the
+    tick axis, with a fault lane underneath marking each epoch
+    transition: ``x`` = crashes only, ``o`` = recoveries only, ``#`` =
+    both at one boundary.  Fault-free traces render without the lane.
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("width and height must be positive")
+    start = events[0] if events else {}
+    if start.get("e") != "start":
+        raise ValueError("not a trace: the event list has no start event")
+    points = [(0, None)]  # tick 0's error comes from the initial state: 1.0
+    epochs = []
+    end_ticks = 0
+    for event in events:
+        kind = event.get("e")
+        if kind == "check":
+            points.append((int(event["ticks"]), float(event["error"])))
+        elif kind == "epoch":
+            epochs.append(
+                (
+                    int(event["tick"]),
+                    bool(event["crashed"]),
+                    bool(event["recovered"]),
+                )
+            )
+        elif kind == "end":
+            end_ticks = int(event["ticks"])
+            points.append((end_ticks, float(event["error"])))
+    points[0] = (0, 1.0)
+    if len(points) < 2:
+        raise ValueError(
+            "trace records no convergence checks; nothing to draw"
+        )
+    ticks = np.array([p[0] for p in points], dtype=np.float64)
+    errors = np.array([p[1] for p in points], dtype=np.float64)
+    keep = errors > 0
+    ticks, errors = ticks[keep], np.log10(errors[keep])
+    if ticks.size < 2:
+        raise ValueError("fewer than two positive errors for a log plot")
+    tick_high = float(max(ticks.max(), end_ticks)) or 1.0
+    y_low, y_high = float(errors.min()), float(errors.max())
+    y_span = (y_high - y_low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for tick, log_error in zip(ticks, errors):
+        col = min(int(tick / tick_high * (width - 1)), width - 1)
+        row = min(int((log_error - y_low) / y_span * (height - 1)), height - 1)
+        grid[height - 1 - row][col] = "*"
+    label = (
+        f"{start.get('algorithm', '?')}  n={start.get('n', '?')}"
+        f"  k={start.get('k', 1)}  eps={start.get('epsilon', '?')}"
+        f"  stride={start.get('stride', 1)}"
+    )
+    lines = [label, f"{10**y_high:.2g}".rjust(9) + " |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 9 + " |" + "".join(row))
+    lines.append(f"{10**y_low:.2g}".rjust(9) + " |" + "".join(grid[-1]))
+    lines.append(" " * 10 + "+" + "-" * width)
+    if epochs:
+        lane = [" "] * width
+        for tick, crashed, recovered in epochs:
+            col = min(int(tick / tick_high * (width - 1)), width - 1)
+            mark = "#" if crashed and recovered else ("x" if crashed else "o")
+            lane[col] = "#" if lane[col] not in (" ", mark) else mark
+        lines.append(f"{'faults':>9} |" + "".join(lane))
+    lines.append(
+        f"{'ticks':>10} 0" + " " * max(1, width - 12)
+        + f"{int(tick_high)}"
+    )
+    if epochs:
+        lines.append("  x = crashes, o = recoveries, # = both at one epoch")
+    return "\n".join(lines)
 
 
 def render_hierarchy(tree, width: int = 48, height: int = 24) -> str:
