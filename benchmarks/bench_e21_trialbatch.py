@@ -1,0 +1,172 @@
+"""E21 — trial tensorization: one kernel pass vs per-cell tick loops.
+
+The trial-batched executor (:mod:`repro.engine.tensor`) advances all
+trials of one ``(protocol, n)`` sweep slice inside a single
+``(trials, n)`` state tensor — one batched NumPy call per tick window
+instead of ``trials`` independent Python loops.  Its contract is
+"faster, not different": every trial extracted from the tensor must be
+bit-identical to the legacy per-cell run of the same seed.
+
+Measured here, for the slow baseline (randomized) and the routed
+workhorse (geographic) at ``trials=32``: wall clock of 32 per-cell
+``run_batched`` runs vs one ``run_trials_batched`` pass on matched
+seeds.  Asserted: per-trial bit-identity (values, transmissions ledger,
+ticks) and a cells-per-second speedup of at least 3x for both protocols.
+"""
+
+import time
+
+import numpy as np
+
+from _common import emit, emit_timing, timed_pedantic
+from repro.engine import build_instance, run_batched, run_trials_batched
+from repro.experiments import (
+    ExperimentConfig,
+    format_table,
+    make_algorithm,
+    spawn_rng,
+)
+
+N = 192
+EPSILON = 0.3
+STRIDE = 16
+TRIALS = 32
+PROTOCOLS = ("randomized", "geographic")
+REPS = 2
+SPEEDUP_FLOOR = 3.0
+
+
+def _seed_rngs(config, name):
+    return [
+        spawn_rng(config.root_seed, "e21", name, trial)
+        for trial in range(TRIALS)
+    ]
+
+
+def _run_per_cell(name, graph, values, config):
+    """TRIALS independent engine runs: the sweep's legacy execution."""
+    start = time.perf_counter()
+    results = [
+        run_batched(
+            make_algorithm(name, graph),
+            values.copy(),
+            EPSILON,
+            rng,
+            check_stride=STRIDE,
+        )
+        for rng in _seed_rngs(config, name)
+    ]
+    return results, time.perf_counter() - start
+
+
+def _run_tensor(name, graph, values, config):
+    """The same TRIALS cells as one (trials, n) kernel pass."""
+    start = time.perf_counter()
+    results = run_trials_batched(
+        [make_algorithm(name, graph) for _ in range(TRIALS)],
+        [values.copy() for _ in range(TRIALS)],
+        EPSILON,
+        _seed_rngs(config, name),
+        check_stride=STRIDE,
+    )
+    return results, time.perf_counter() - start
+
+
+def test_e21_trialbatch(benchmark):
+    config = ExperimentConfig(
+        sizes=(N,), epsilon=EPSILON, trials=1, field="random"
+    )
+    graph, values = build_instance(config, N, 0)
+
+    def measure():
+        results = {}
+        for name in PROTOCOLS:
+            # One untimed warmup per side, then best-of-REPS: identical
+            # (seed, stride) runs repeat bit for bit, so the minimum
+            # isolates code-path cost from allocator/cache cold starts.
+            _run_per_cell(name, graph, values, config)
+            _run_tensor(name, graph, values, config)
+            per_cell = [
+                _run_per_cell(name, graph, values, config)
+                for _ in range(REPS)
+            ]
+            tensor = [
+                _run_tensor(name, graph, values, config)
+                for _ in range(REPS)
+            ]
+            baseline = per_cell[0][0]
+            batched = tensor[0][0]
+
+            # Faster, not different: trial t IS the per-cell run.
+            for t in range(TRIALS):
+                np.testing.assert_array_equal(
+                    batched[t].values,
+                    baseline[t].values,
+                    err_msg=f"values differ ({name}, trial {t})",
+                )
+                assert batched[t].transmissions == baseline[t].transmissions
+                assert batched[t].ticks == baseline[t].ticks
+                assert batched[t].error == baseline[t].error
+
+            results[name] = {
+                "per_cell_seconds": min(s for _, s in per_cell),
+                "tensor_seconds": min(s for _, s in tensor),
+                "ticks": baseline[0].ticks,
+            }
+        return results
+
+    results = timed_pedantic(
+        benchmark,
+        "e21_trialbatch",
+        measure,
+        n=N,
+        epsilon=EPSILON,
+        check_stride=STRIDE,
+        trials=TRIALS,
+        reps=REPS,
+    )
+
+    rows = []
+    speedups = {}
+    for name, stats in results.items():
+        per_cell_rate = TRIALS / stats["per_cell_seconds"]
+        tensor_rate = TRIALS / stats["tensor_seconds"]
+        speedup = tensor_rate / per_cell_rate
+        speedups[name] = speedup
+        rows.append(
+            [
+                name,
+                stats["ticks"],
+                round(per_cell_rate, 1),
+                round(tensor_rate, 1),
+                round(speedup, 2),
+            ]
+        )
+        emit_timing(
+            f"e21_{name}",
+            stats["tensor_seconds"],
+            per_cell_seconds=round(stats["per_cell_seconds"], 6),
+            cells_per_sec=round(tensor_rate, 3),
+            per_cell_cells_per_sec=round(per_cell_rate, 3),
+            speedup=round(speedup, 4),
+            n=N,
+            epsilon=EPSILON,
+            check_stride=STRIDE,
+            trials=TRIALS,
+        )
+    emit(
+        "e21_trialbatch",
+        format_table(
+            ["protocol", "ticks", "cells/s per-cell", "cells/s tensor", "speedup"],
+            rows,
+            title=(
+                f"E21 — trial tensorization, trials={TRIALS}, n={N}, "
+                f"stride {STRIDE} (bit-identical per trial)"
+            ),
+        ),
+    )
+    for name, speedup in speedups.items():
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{name}: tensor pass is only {speedup:.2f}x the per-cell rate "
+            f"(floor {SPEEDUP_FLOOR}x)"
+        )

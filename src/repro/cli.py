@@ -18,7 +18,10 @@ selects the batched tick path (``1`` = the bit-identical legacy loop),
 any worker count), and ``--store-dir``/``--resume`` persist finished cells
 so an interrupted sweep continues instead of restarting.  ``sweep
 --trace`` additionally writes each fresh cell's event stream under
-``<store>/traces/`` (requires ``--store-dir``).
+``<store>/traces/`` (requires ``--store-dir``), and ``sweep
+--trial-batch`` advances all trials of each ``(algorithm, n)`` slice in
+one tensorized kernel pass (:mod:`repro.engine.tensor`) with identical
+results and store keys.
 
 Examples::
 
@@ -249,6 +252,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --store-dir: write each fresh cell's structured event "
         "stream under <store>/traces/ (validate with 'repro replay')",
+    )
+    sweep.add_argument(
+        "--trial-batch",
+        action="store_true",
+        help="advance all trials of each (algorithm, n) slice in one "
+        "tensorized kernel pass where eligible (same results and store "
+        "keys; ineligible cells fall back per-cell with a warning)",
     )
     _add_multifield_flags(sweep)
     _add_fault_flags(sweep)
@@ -562,6 +572,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         check_stride=args.check_stride,
         store=store,
         trace=args.trace,
+        trial_batch=args.trial_batch,
     )
     rows = []
     for n in sizes:

@@ -20,10 +20,20 @@ large scaling sweeps:
   append to a JSON-lines file under a content-keyed directory; re-running
   an interrupted sweep skips every finished cell instead of restarting.
 
+A fourth layer, :mod:`repro.engine.tensor`, tensorizes across *trials*:
+all trials of one ``(protocol, topology, n)`` sweep slice advance inside
+a single ``(trials, n[, k])`` state tensor, one batched NumPy call per
+tick window instead of ``trials`` independent Python loops.  Cells that
+cannot join a tensor slice (faulted, round-based, traced, per-column
+multi-field) fall back to the per-cell path with a
+:class:`~repro.engine.tensor.TrialBatchFallbackWarning`.  The array
+namespace the kernels use comes from :mod:`repro.engine.backend`.
+
 ``repro.experiments.runner`` and the CLI sit on top of this package; the
 benchmarks route through them, so every experiment inherits the engine.
 """
 
+from repro.engine.backend import ArrayBackend, available_backends, get_backend
 from repro.engine.batching import (
     DEFAULT_BLOCK_SIZE,
     MultiFieldFallbackWarning,
@@ -39,30 +49,47 @@ from repro.engine.executor import (
     SweepCell,
     build_cell_algorithm,
     build_faulted_algorithm,
+    build_graph,
     build_instance,
+    build_values,
     execute_cell,
+    execute_trial_slice,
     expand_grid,
     run_sweep_records,
 )
 from repro.engine.store import ResultStore, content_key
+from repro.engine.tensor import (
+    TrialBatchFallbackWarning,
+    run_trials_batched,
+    trial_batch_capability,
+)
 
 __all__ = [
+    "ArrayBackend",
     "CellRecord",
     "DEFAULT_BLOCK_SIZE",
     "MultiFieldFallbackWarning",
     "ResultStore",
     "ScalarFallbackWarning",
     "SweepCell",
+    "TrialBatchFallbackWarning",
     "UncenteredFieldWarning",
+    "available_backends",
     "batching_capability",
     "build_cell_algorithm",
     "build_faulted_algorithm",
+    "build_graph",
     "build_instance",
+    "build_values",
     "content_key",
     "execute_cell",
+    "execute_trial_slice",
     "expand_grid",
+    "get_backend",
     "multifield_capability",
     "run_batched",
     "run_sweep_records",
+    "run_trials_batched",
     "split_streams",
+    "trial_batch_capability",
 ]

@@ -1,0 +1,72 @@
+"""Minimal array-backend seam for the trial-tensorized kernels.
+
+The tensor executor (:mod:`repro.engine.tensor`) expresses its kernels
+against an array-API-style namespace ``xp`` instead of importing NumPy
+directly, so a drop-in accelerator backend (CuPy exposes the same call
+surface) can be plugged in later without re-touching the kernels.  NumPy
+is the only backend this library ships — registering another one is the
+accelerator port's job, not this module's.
+
+>>> get_backend().name
+'numpy'
+>>> int(get_backend().xp.arange(4).sum())
+6
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy
+
+__all__ = ["ArrayBackend", "available_backends", "get_backend"]
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """One pluggable array namespace.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"numpy"`` for the shipped backend).
+    xp:
+        The array-API-style module: kernels call ``xp.stack``,
+        ``xp.minimum`` etc. through this attribute only.
+    """
+
+    name: str
+    xp: Any = field(repr=False)
+
+
+_BACKENDS: dict[str, ArrayBackend] = {
+    "numpy": ArrayBackend(name="numpy", xp=numpy),
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted.
+
+    >>> available_backends()
+    ('numpy',)
+    """
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str = "numpy") -> ArrayBackend:
+    """Look up a registered :class:`ArrayBackend` by name.
+
+    Unknown names fail loudly — a silent NumPy fallback would make a
+    mistyped accelerator request run slow with no signal.
+
+    >>> get_backend("numpy").xp is numpy
+    True
+    """
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown array backend {name!r}; registered: "
+            f"{available_backends()}"
+        ) from None

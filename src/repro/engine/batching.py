@@ -114,7 +114,10 @@ class UncenteredFieldWarning(UserWarning):
 
 
 def _warn_if_uncentered(
-    algorithm, initial_values: np.ndarray, epsilon: float
+    algorithm,
+    initial_values: np.ndarray,
+    epsilon: float,
+    stacklevel: int = 3,
 ) -> None:
     """Emit :class:`UncenteredFieldWarning` when the run looks futile.
 
@@ -148,7 +151,7 @@ def _warn_if_uncentered(
                 "deviation floor instead of converging — centre the field "
                 "first (values - values.mean())",
                 UncenteredFieldWarning,
-                stacklevel=3,
+                stacklevel=stacklevel,
             )
             return
 
@@ -223,6 +226,7 @@ def run_batched(
     max_ticks: int | None = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
     trace_thinning: float = 0.02,
+    stacklevel: int = 2,
 ) -> GossipRunResult:
     """Run ``algorithm`` to ε through the batched engine.
 
@@ -257,12 +261,26 @@ def run_batched(
         Cap on one vectorized owner block; results do not depend on it.
     trace_thinning:
         Passed through to :class:`ConvergenceTrace`.
+    stacklevel:
+        How many frames above this function the *user's* call site sits,
+        for warning attribution (``2``, the default, points at the
+        direct caller).  Wrappers that re-enter the engine — the sweep
+        executor, the CLI — thread their own depth through so fallback
+        warnings name the entry point, not engine internals.
     """
     if check_stride < 1:
         raise ValueError(f"check_stride must be >= 1, got {check_stride}")
     if block_size < 1:
         raise ValueError(f"block_size must be >= 1, got {block_size}")
     initial_values = np.asarray(initial_values, dtype=np.float64)
+    if initial_values.ndim == 2 and initial_values.shape[1] == 0:
+        # A degenerate zero-field matrix used to slip through to the
+        # per-column fallback's column-0 slice (an opaque IndexError) or
+        # run native protocols on an empty state; fail loudly at the door.
+        raise ValueError(
+            "multi-field state needs at least one field column: got shape "
+            f"{initial_values.shape}"
+        )
     if (
         initial_values.ndim == 2
         and multifield_capability(algorithm) != "native"
@@ -307,7 +325,7 @@ def run_batched(
                 "repro.experiments.config.multifield_support reports "
                 "every registered protocol's capability"
             )
-        warnings.warn(message, MultiFieldFallbackWarning, stacklevel=2)
+        warnings.warn(message, MultiFieldFallbackWarning, stacklevel=stacklevel)
         # The fallback executes k whole runs inside this one; tracing
         # them would interleave k start/end streams into one file, so
         # the recorder is suspended (docs/observability.md lists the
@@ -322,9 +340,14 @@ def run_batched(
                 max_ticks=max_ticks,
                 block_size=block_size,
                 trace_thinning=trace_thinning,
+                # Inner runs sit two frames deeper (this frame plus
+                # _run_per_column's) from the user's call site.
+                stacklevel=stacklevel + 2,
             )
     if epsilon > 0:
-        _warn_if_uncentered(algorithm, initial_values, epsilon)
+        _warn_if_uncentered(
+            algorithm, initial_values, epsilon, stacklevel=stacklevel + 1
+        )
     if not isinstance(algorithm, AsynchronousGossip):
         # Round-based protocols (e.g. the hierarchical executor) have no
         # global tick loop to batch or stride; they run their native
@@ -355,7 +378,7 @@ def run_batched(
             "repro.experiments.config.protocol_batching reports every "
             "registered protocol's capability",
             ScalarFallbackWarning,
-            stacklevel=2,
+            stacklevel=stacklevel,
         )
 
     n = algorithm.n

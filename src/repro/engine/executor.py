@@ -45,10 +45,13 @@ __all__ = [
     "SweepCell",
     "build_cell_algorithm",
     "build_faulted_algorithm",
+    "build_graph",
     "build_instance",
+    "build_values",
     "cell_trace_path",
     "cell_traceable",
     "execute_cell",
+    "execute_trial_slice",
     "expand_grid",
     "run_sweep_records",
 ]
@@ -177,8 +180,8 @@ class CellRecord:
         )
 
 
-def build_instance(config: ExperimentConfig, n: int, trial: int):
-    """Placement, graph and field shared by all algorithms of one trial.
+def build_graph(config: ExperimentConfig, n: int, trial: int):
+    """The ``(n, trial)`` cell's placement graph, seeded by its tags.
 
     The graph comes from the config's topology family
     (:data:`repro.graphs.generators.TOPOLOGIES`).  For the default
@@ -186,7 +189,9 @@ def build_instance(config: ExperimentConfig, n: int, trial: int):
     so flat-RGG instances are stable across engine versions and identical
     for every algorithm cell of the same ``(n, trial)``; other families
     include the topology name in their graph-seed tag so no two families
-    ever share a placement stream.
+    ever share a placement stream.  Those same tags are the trial-batch
+    grouping predicate: two cells may share one graph object only when
+    their tag tuples coincide.
     """
     # Imported here, not at module top: repro.experiments sits above the
     # engine (its runner imports this package), so the engine only reaches
@@ -201,26 +206,36 @@ def build_instance(config: ExperimentConfig, n: int, trial: int):
     graph_rng = spawn_rng(
         config.root_seed, "graph", *topology_seed_tags(config.topology, n, trial)
     )
-    graph = build_topology(
+    return build_topology(
         config.topology, n, graph_rng, radius_constant=config.radius_constant
     )
+
+
+def build_values(config: ExperimentConfig, graph, n: int, trial: int):
+    """The ``(n, trial)`` cell's initial field (scalar or ``(n, k)`` matrix)."""
+    from repro.experiments.seeds import spawn_rng
+
     field_rng = spawn_rng(config.root_seed, "field", config.field, n, trial)
     if config.fields == 1:
         # The historical scalar path, stream for stream: fields=1 cells
         # are bit-identical to every pre-multi-field engine version.
-        values = FIELD_GENERATORS[config.field](graph.positions, field_rng)
-    else:
-        # Multi-field cells share the field stream's *prefix*: every
-        # workload builder draws the base scalar field first into column
-        # 0, so column 0 equals the fields=1 cell's values bit for bit.
-        values = build_field_matrix(
-            config.workload,
-            config.field,
-            graph.positions,
-            field_rng,
-            config.fields,
-        )
-    return graph, values
+        return FIELD_GENERATORS[config.field](graph.positions, field_rng)
+    # Multi-field cells share the field stream's *prefix*: every
+    # workload builder draws the base scalar field first into column
+    # 0, so column 0 equals the fields=1 cell's values bit for bit.
+    return build_field_matrix(
+        config.workload,
+        config.field,
+        graph.positions,
+        field_rng,
+        config.fields,
+    )
+
+
+def build_instance(config: ExperimentConfig, n: int, trial: int):
+    """Placement, graph and field shared by all algorithms of one trial."""
+    graph = build_graph(config, n, trial)
+    return graph, build_values(config, graph, n, trial)
 
 
 def expand_grid(config: ExperimentConfig) -> list[SweepCell]:
@@ -309,6 +324,7 @@ def execute_cell(
     cell: SweepCell,
     check_stride: int = 1,
     trace_dir: "str | Path | None" = None,
+    stacklevel: int = 2,
 ) -> CellRecord:
     """Run one grid cell to ε and summarise it as a :class:`CellRecord`.
 
@@ -320,6 +336,10 @@ def execute_cell(
     run normally and write no file.  The capture happens here, inside
     the (possibly worker-pool) process that runs the cell, so tracing
     works identically under serial and parallel sweeps.
+
+    ``stacklevel`` threads through to :func:`run_batched`'s fallback
+    warnings so they attribute to this function's caller (``2``, the
+    default) or further up — never to engine internals.
     """
     from repro.experiments.seeds import spawn_rng
 
@@ -339,6 +359,7 @@ def execute_cell(
                 config.epsilon,
                 run_rng,
                 check_stride=check_stride,
+                stacklevel=stacklevel + 1,
             )
             wall_clock = time.perf_counter() - started
         recorder.annotate(
@@ -349,9 +370,18 @@ def execute_cell(
     else:
         started = time.perf_counter()
         result = run_batched(
-            algorithm, values, config.epsilon, run_rng, check_stride=check_stride
+            algorithm,
+            values,
+            config.epsilon,
+            run_rng,
+            check_stride=check_stride,
+            stacklevel=stacklevel + 1,
         )
         wall_clock = time.perf_counter() - started
+    multifield_fallback = (
+        getattr(values, "ndim", 1) == 2
+        and multifield_capability(algorithm) != "native"
+    )
     telemetry = collect_telemetry(
         algorithm,
         wall_clock=wall_clock,
@@ -359,10 +389,11 @@ def execute_cell(
         scalar_fallback=(
             check_stride > 1 and batching_capability(algorithm) == "scalar"
         ),
-        multifield_fallback=(
-            getattr(values, "ndim", 1) == 2
-            and multifield_capability(algorithm) != "native"
-        ),
+        multifield_fallback=multifield_fallback,
+        # The per-column fallback reuses one instance across k nested
+        # runs, so its cumulative counters (route-cache hits/misses)
+        # cover k runs, not one; the run count annotates the inflation.
+        multifield_runs=(values.shape[1] if multifield_fallback else None),
         trace_events=trace_events,
     )
     fault_metrics = getattr(algorithm, "fault_metrics", None)
@@ -390,6 +421,153 @@ def execute_cell(
     )
 
 
+def execute_trial_slice(
+    config: ExperimentConfig,
+    cells: list[SweepCell],
+    check_stride: int = 1,
+) -> list[CellRecord]:
+    """Run one slice — all pending trials of one ``(algorithm, n)`` — batched.
+
+    Builds each trial's graph, field and algorithm from the exact
+    per-cell seed tags, then hands the whole slice to
+    :func:`repro.engine.tensor.run_trials_batched` and splits the
+    per-trial results back into :class:`CellRecord`\\ s.  Graphs are
+    memoized by their seed-tag tuples (the grouping predicate): under
+    every registered topology family the tags include the trial, so each
+    trial builds its own substrate — but a family whose placement
+    streams coincided across trials would share one graph object here
+    rather than silently duplicating it.
+
+    ``wall_clock`` is the slice's elapsed time split evenly across its
+    cells (per-trial attribution inside one kernel pass is meaningless);
+    both timing fields are excluded from record equality, so
+    trial-batched records compare equal to per-cell ones.
+    """
+    from repro.engine.tensor import run_trials_batched
+    from repro.experiments.seeds import spawn_rng
+    from repro.graphs.generators import topology_seed_tags
+
+    graphs: dict[tuple, object] = {}
+    algorithms = []
+    states = []
+    rngs = []
+    for cell in cells:
+        tags = ("graph",) + tuple(
+            topology_seed_tags(config.topology, cell.n, cell.trial)
+        )
+        if tags not in graphs:
+            graphs[tags] = build_graph(config, cell.n, cell.trial)
+        graph = graphs[tags]
+        states.append(build_values(config, graph, cell.n, cell.trial))
+        algorithms.append(
+            build_cell_algorithm(config, graph, cell.algorithm, cell.n, cell.trial)
+        )
+        rngs.append(
+            spawn_rng(config.root_seed, "run", cell.algorithm, cell.n, cell.trial)
+        )
+    started = time.perf_counter()
+    results = run_trials_batched(
+        algorithms, states, config.epsilon, rngs, check_stride=check_stride
+    )
+    wall_clock = (time.perf_counter() - started) / len(cells)
+    records = []
+    for cell, algorithm, result in zip(cells, algorithms, results):
+        telemetry = collect_telemetry(
+            algorithm,
+            wall_clock=wall_clock,
+            ticks=result.ticks,
+            scalar_fallback=(
+                check_stride > 1 and batching_capability(algorithm) == "scalar"
+            ),
+            trial_batch=True,
+        )
+        records.append(
+            CellRecord(
+                algorithm=cell.algorithm,
+                n=cell.n,
+                trial=cell.trial,
+                epsilon=config.epsilon,
+                transmissions=dict(result.transmissions),
+                ticks=result.ticks,
+                converged=result.converged,
+                error=result.error,
+                faults=None,
+                field_errors=(
+                    None
+                    if result.column_errors is None
+                    else tuple(float(v) for v in result.column_errors)
+                ),
+                wall_clock=wall_clock,
+                telemetry=telemetry,
+            )
+        )
+    return records
+
+
+def _plan_trial_batches(
+    config: ExperimentConfig,
+    pending: list[SweepCell],
+    trace: bool,
+    stacklevel: int,
+) -> tuple[list[list[SweepCell]], list[SweepCell]]:
+    """Split pending cells into tensorizable slices and per-cell fallbacks.
+
+    A slice is every pending trial of one ``(algorithm, n)``.  Whole-sweep
+    fallbacks (fault dynamics, tracing) and per-protocol fallbacks
+    (round-based execution, per-column multi-field) route their cells to
+    the legacy per-cell path behind one
+    :class:`~repro.engine.tensor.TrialBatchFallbackWarning` each.
+    """
+    import warnings
+
+    from repro.engine.tensor import TrialBatchFallbackWarning
+    from repro.experiments.config import multifield_support, protocol_batching
+
+    def _warn(message: str) -> None:
+        warnings.warn(
+            message, TrialBatchFallbackWarning, stacklevel=stacklevel + 2
+        )
+
+    if config.fault_spec().enabled:
+        _warn(
+            "trial_batch: fault dynamics carry per-trial substrate state "
+            "the shared window schedule cannot interleave; every cell "
+            "runs per-cell"
+        )
+        return [], list(pending)
+    if trace:
+        _warn(
+            "trial_batch: tensor kernels emit no per-cell event stream; "
+            "traced sweeps run per-cell"
+        )
+        return [], list(pending)
+    names = list(dict.fromkeys(cell.algorithm for cell in pending))
+    batching = protocol_batching(names)
+    multifield = multifield_support(names)
+    fallback_names = set()
+    for name in names:
+        if batching[name] == "rounds":
+            _warn(
+                f"trial_batch: {name!r} is round-based (no tick loop to "
+                "run in lockstep); its cells run per-cell"
+            )
+            fallback_names.add(name)
+        elif config.fields > 1 and multifield[name] != "native":
+            _warn(
+                f"trial_batch: {name!r} runs multi-field state per column "
+                "(k nested runs per cell); its cells run per-cell"
+            )
+            fallback_names.add(name)
+    slices: dict[tuple[str, int], list[SweepCell]] = {}
+    fallback_cells = []
+    for cell in pending:
+        if cell.algorithm in fallback_names:
+            fallback_cells.append(cell)
+        else:
+            slices.setdefault((cell.algorithm, cell.n), []).append(cell)
+    return list(slices.values()), fallback_cells
+
+
 def run_sweep_records(
     config: ExperimentConfig,
     *,
@@ -398,6 +576,8 @@ def run_sweep_records(
     store: "ResultStore | None" = None,
     on_record: Callable[[CellRecord, bool], None] | None = None,
     trace: bool = False,
+    trial_batch: bool = False,
+    stacklevel: int = 2,
 ) -> dict[CellKey, CellRecord]:
     """Execute (or resume) a sweep grid; returns records keyed by cell.
 
@@ -427,6 +607,19 @@ def run_sweep_records(
         ``store`` — traces live alongside the cells they explain, under
         the same content key).  Cells resumed from the store are not
         re-run and get no trace.
+    trial_batch:
+        Group pending cells into per-``(algorithm, n)`` slices and run
+        each slice through :func:`repro.engine.tensor.run_trials_batched`
+        (one tensor pass over all trials) instead of per-cell tick
+        loops.  Records, store layout, resume/skip semantics and content
+        keys are unchanged — ``trial_batch`` is an execution mode, like
+        ``workers``, not part of the sweep's identity.  Faulted, traced,
+        round-based and per-column multi-field cells fall back to the
+        per-cell path behind a
+        :class:`~repro.engine.tensor.TrialBatchFallbackWarning`.
+    stacklevel:
+        Warning attribution depth: engine fallback warnings point at
+        this function's caller by default; wrappers add their own frame.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -461,9 +654,46 @@ def run_sweep_records(
         if on_record is not None:
             on_record(record, True)
 
+    if trial_batch and pending:
+        slices, fallback_cells = _plan_trial_batches(
+            config, pending, trace, stacklevel
+        )
+        if workers == 1 or len(pending) <= 1:
+            for cells in slices:
+                for record in execute_trial_slice(config, cells, check_stride):
+                    _finish(record)
+            for cell in fallback_cells:
+                _finish(
+                    execute_cell(
+                        config, cell, check_stride, trace_dir, stacklevel + 1
+                    )
+                )
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                slice_futures = [
+                    pool.submit(execute_trial_slice, config, cells, check_stride)
+                    for cells in slices
+                ]
+                cell_futures = [
+                    pool.submit(execute_cell, config, cell, check_stride, trace_dir)
+                    for cell in fallback_cells
+                ]
+                for future in as_completed(slice_futures + cell_futures):
+                    outcome = future.result()
+                    if isinstance(outcome, list):
+                        for record in outcome:
+                            _finish(record)
+                    else:
+                        _finish(outcome)
+        return records
+
     if workers == 1 or len(pending) <= 1:
         for cell in pending:
-            _finish(execute_cell(config, cell, check_stride, trace_dir))
+            _finish(
+                execute_cell(
+                    config, cell, check_stride, trace_dir, stacklevel + 1
+                )
+            )
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [

@@ -53,7 +53,9 @@ def collect_telemetry(
     ticks: int,
     scalar_fallback: bool = False,
     multifield_fallback: bool = False,
+    multifield_runs: "int | None" = None,
     trace_events: "int | None" = None,
+    trial_batch: bool = False,
 ) -> dict[str, float]:
     """One cell's flat telemetry mapping.
 
@@ -61,8 +63,13 @@ def collect_telemetry(
     (``1.0`` when the cell hit the engine's scalar-tick or per-column
     multi-field fallback — the run is correct but missed a fast path).
     Added when applicable: the route-cache counters of
-    :func:`cache_stats` and ``trace_events`` (events captured when the
-    cell ran traced).
+    :func:`cache_stats`, ``trace_events`` (events captured when the cell
+    ran traced), ``trial_batch`` (``1.0`` when the cell executed inside
+    a trial-tensorized slice), and ``multifield_fallback_runs`` — the
+    number of nested runs a per-column fallback cell executed on *one*
+    protocol instance, which is the factor by which its cumulative
+    counters (the route-cache hits/misses above) are inflated relative
+    to a single run.
     """
     telemetry = {
         "ticks_per_sec": (
@@ -71,9 +78,13 @@ def collect_telemetry(
         "scalar_fallback": 1.0 if scalar_fallback else 0.0,
         "multifield_fallback": 1.0 if multifield_fallback else 0.0,
     }
+    if multifield_runs is not None:
+        telemetry["multifield_fallback_runs"] = float(multifield_runs)
     stats = cache_stats(algorithm)
     if stats is not None:
         telemetry.update(stats)
     if trace_events is not None:
         telemetry["trace_events"] = float(trace_events)
+    if trial_batch:
+        telemetry["trial_batch"] = 1.0
     return telemetry

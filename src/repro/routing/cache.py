@@ -82,6 +82,10 @@ class CachedGreedyRouter:
         #: is the innermost loop); ``column[u] == u`` marks "the route
         #: towards this target ends at u" (arrived, or a void).
         self._columns: dict[int, list[int]] = {}
+        #: target node -> (hops, destination) vectors derived from the
+        #: column by :meth:`route_stats`; rebuilt lazily after any
+        #: :meth:`invalidate` (the columns they summarise may change).
+        self._stats: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self.hits = 0
         self.misses = 0
         #: Number of :meth:`invalidate` calls served (observability for
@@ -181,6 +185,115 @@ class CachedGreedyRouter:
         )
         return forward, backward
 
+    def route_stats(
+        self, target_node: int, *, account: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-source ``(hops, destination)`` vectors towards ``target_node``.
+
+        ``hops[u]`` is exactly ``len(path) - 1`` of
+        :meth:`route_to_node`'s walk from ``u`` and ``destination[u]`` its
+        fixed point (``destination[u] == target_node`` means delivered),
+        derived from the next-hop column by pointer doubling — O(n log
+        diameter) for all ``n`` sources at once.  This is the lookup layer
+        the trial-tensorized kernels (:mod:`repro.engine.tensor`) resolve
+        whole owner windows against instead of walking paths one hop at a
+        time.
+
+        Accounting mirrors :meth:`route_to_node`'s ledger: the call is a
+        miss when the target's column had to be built, a hit otherwise
+        (deriving stats from an already-cached column answers from cached
+        routing work).  Kernels that resolve many lookups against one
+        stats row account the rest through :meth:`charge_lookups`.  With
+        ``account=False`` the ledger is left untouched — the
+        shared-substrate tensor path computes stats once on one trial's
+        router and mirrors each trial's hit/miss totals explicitly via
+        :meth:`charge_misses` / :meth:`charge_lookups`.
+
+        The returned arrays are cached internals — callers must not
+        mutate them.
+        """
+        stats = self._stats.get(target_node)
+        if stats is not None:
+            if account:
+                self.hits += 1
+            return stats
+        column = self._columns.get(target_node)
+        if column is None:
+            if account:
+                self.misses += 1
+            array = self._build_column(target_node)
+            self._columns[target_node] = array.tolist()
+        else:
+            if account:
+                self.hits += 1
+            array = np.asarray(column, dtype=np.int64)
+        stats = self._column_stats(array)
+        self._stats[target_node] = stats
+        return stats
+
+    def cached_column(self, target_node: int) -> list[int]:
+        """The raw next-hop column for ``target_node``, with no accounting.
+
+        Kernel-layer accessor: the path-averaging tensor kernel walks the
+        column to recover the exact node sequence (already accounted for
+        through :meth:`route_stats` / :meth:`charge_lookups`), so this
+        lookup must not count a second hit for the same route.
+        """
+        column = self._columns.get(target_node)
+        if column is None:
+            column = self._build_column(target_node).tolist()
+            self._columns[target_node] = column
+        return column
+
+    def charge_lookups(self, count: int) -> None:
+        """Account ``count`` route-level lookups served from cached columns.
+
+        The tensor kernels call :meth:`route_stats` once per *distinct*
+        target of a window and resolve every remaining route of the
+        window against the returned vectors; charging those resolutions
+        here keeps the hit/miss ledger equal to what the per-cell path
+        (one :meth:`route_to_node` call per route) would have recorded.
+        """
+        if count < 0:
+            raise ValueError(f"lookup count must be >= 0, got {count}")
+        self.hits += count
+
+    def charge_misses(self, count: int) -> None:
+        """Account ``count`` first-time route lookups as cache misses.
+
+        Counterpart of :meth:`charge_lookups` for the shared-substrate
+        tensor path: column builds happen once on a designated router
+        (via ``route_stats(..., account=False)``), and each trial charges
+        the misses its own per-cell run would have recorded — one per
+        target it routes towards for the first time.
+        """
+        if count < 0:
+            raise ValueError(f"miss count must be >= 0, got {count}")
+        self.misses += count
+
+    @staticmethod
+    def _column_stats(
+        column: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fold a next-hop column into ``(hops, destination)`` vectors.
+
+        Pointer doubling: ``jump[u]`` is the node reached after at most
+        ``2^k`` real hops (fixed points absorb) and ``hops[u]`` the real
+        hops taken, so composing ``jump`` with itself doubles the horizon
+        until every walk has landed on its fixed point.  Greedy columns
+        are acyclic (every hop moves strictly closer to the target), so
+        this terminates in O(log diameter) rounds.
+        """
+        nodes = np.arange(column.size, dtype=np.int64)
+        jump = column.astype(np.int64, copy=True)
+        hops = (jump != nodes).astype(np.int64)
+        while True:
+            landed = jump[jump]
+            if np.array_equal(landed, jump):
+                return hops, jump
+            hops = hops + hops[jump]
+            jump = landed
+
     def invalidate(self, nodes: "list[int] | None" = None) -> int:
         """React to an adjacency change without rebuilding the whole cache.
 
@@ -213,6 +326,9 @@ class CachedGreedyRouter:
         """
         self.invalidations += 1
         self._refresh_adjacency()
+        # Stats vectors summarise columns that may now be repaired or
+        # dropped below; they are cheap to re-derive, so always discard.
+        self._stats.clear()
         if nodes is not None:
             rows = [int(node) for node in nodes]
             if not rows or not self._columns:

@@ -362,3 +362,139 @@ class TestScalarFallbackWarning:
                     spawn_rng(7, "run", name),
                     check_stride=4,
                 )
+
+
+class TestDegenerateMatrixState:
+    """(n, 0) state is a caller error, not an empty-column no-op run."""
+
+    def test_zero_field_matrix_raises_named_shape(self, instance):
+        graph, values = instance
+        with pytest.raises(ValueError, match=r"\(64, 0\)"):
+            run_batched(
+                make_algorithm("randomized", graph),
+                np.empty((graph.n, 0)),
+                0.25,
+                spawn_rng(7, "run"),
+            )
+
+    def test_zero_field_matrix_raises_on_per_column_path_too(self, instance):
+        graph, _ = instance
+        with pytest.raises(ValueError, match="at least one field column"):
+            run_batched(
+                ScalarOnlyGossip(graph.n),
+                np.empty((graph.n, 0)),
+                0.25,
+                spawn_rng(7, "run"),
+            )
+
+
+class TestWarningAttribution:
+    """Engine warnings must point at the caller's line, not engine frames.
+
+    Each check pins ``warning.filename`` to this test module: a wrong
+    ``stacklevel`` attributes the warning to batching.py (or executor.py),
+    which is exactly the regression these tests exist to catch.
+    """
+
+    @staticmethod
+    def _filenames(captured, category):
+        return [
+            w.filename
+            for w in captured
+            if issubclass(w.category, category)
+        ]
+
+    def test_multifield_fallback_attributes_to_caller(self, instance):
+        graph, values = instance
+        from repro.engine.batching import MultiFieldFallbackWarning
+
+        state = np.column_stack([values, values * 0.5])
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            run_batched(
+                ScalarOnlyGossip(graph.n),
+                state,
+                0.25,
+                spawn_rng(7, "run"),
+                max_ticks=16,
+            )
+        filenames = self._filenames(captured, MultiFieldFallbackWarning)
+        assert filenames and all(
+            name.endswith("test_engine_batching.py") for name in filenames
+        ), filenames
+
+    def test_scalar_fallback_attributes_to_caller(self, instance):
+        graph, values = instance
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            run_batched(
+                ScalarOnlyGossip(graph.n),
+                values,
+                0.25,
+                spawn_rng(7, "run"),
+                check_stride=4,
+                max_ticks=16,
+            )
+        filenames = self._filenames(captured, ScalarFallbackWarning)
+        assert filenames and all(
+            name.endswith("test_engine_batching.py") for name in filenames
+        ), filenames
+
+    def test_uncentered_field_attributes_to_caller(self, instance):
+        from repro.engine.batching import UncenteredFieldWarning
+        from repro.gossip.affine import AffineGossipKn, sample_alphas
+
+        graph, values = instance
+        algorithm = AffineGossipKn(
+            graph.n, alphas=sample_alphas(graph.n, np.random.default_rng(1))
+        )
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            run_batched(
+                algorithm, values + 5.0, 0.25, spawn_rng(7, "run"), max_ticks=8
+            )
+        filenames = self._filenames(captured, UncenteredFieldWarning)
+        assert filenames and all(
+            name.endswith("test_engine_batching.py") for name in filenames
+        ), filenames
+
+    def test_sweep_entry_point_attributes_to_caller(self):
+        """The same warnings routed through run_sweep_records still point
+        here — the executor threads its extra frames into stacklevel."""
+        from repro.engine.batching import MultiFieldFallbackWarning
+        from repro.engine.executor import run_sweep_records
+        from repro.experiments.config import ExperimentConfig
+
+        config = ExperimentConfig(
+            sizes=(24,),
+            trials=1,
+            epsilon=0.3,
+            algorithms=("hierarchical",),
+            fields=2,
+        )
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            run_sweep_records(config)
+        filenames = self._filenames(captured, MultiFieldFallbackWarning)
+        assert filenames and all(
+            name.endswith("test_engine_batching.py") for name in filenames
+        ), filenames
+
+    def test_trial_batch_fallback_attributes_to_caller(self):
+        from repro.engine.executor import run_sweep_records
+        from repro.engine.tensor import TrialBatchFallbackWarning
+        from repro.experiments.config import ExperimentConfig
+
+        config = ExperimentConfig(
+            sizes=(24,),
+            trials=1,
+            epsilon=0.3,
+            algorithms=("hierarchical",),
+        )
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            run_sweep_records(config, trial_batch=True)
+        filenames = self._filenames(captured, TrialBatchFallbackWarning)
+        assert filenames and all(
+            name.endswith("test_engine_batching.py") for name in filenames
+        ), filenames

@@ -540,3 +540,36 @@ class TestFaultedMultiFieldRegressions:
         metrics = protocol.fault_metrics(result.values, result.initial_values)
         assert 0.0 <= metrics["live_fraction"] <= 1.0
         assert np.isfinite(metrics["live_node_error"])
+
+
+class TestFallbackTelemetry:
+    """Per-column fallback cells annotate their k-fold counter inflation.
+
+    ``_run_per_column`` runs k nested engine passes on *one* protocol
+    instance, so cumulative counters (route-cache hits/misses) come out
+    k-fold inflated relative to a single run.  Rather than resetting
+    state mid-cell, the record carries ``multifield_fallback_runs`` so a
+    reader can normalise — this test pins that contract.
+    """
+
+    def test_fallback_cells_annotate_run_count(self):
+        from repro.engine.executor import run_sweep_records
+        from repro.experiments import ExperimentConfig
+
+        fields = 3
+        config = ExperimentConfig(
+            sizes=(24,),
+            trials=1,
+            epsilon=0.3,
+            algorithms=("hierarchical", "randomized"),
+            fields=fields,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            records = run_sweep_records(config)
+        fallback = records[("hierarchical", 24, 0)]
+        assert fallback.telemetry["multifield_fallback"] == 1.0
+        assert fallback.telemetry["multifield_fallback_runs"] == float(fields)
+        native = records[("randomized", 24, 0)]
+        assert native.telemetry["multifield_fallback"] == 0.0
+        assert "multifield_fallback_runs" not in native.telemetry

@@ -1,0 +1,445 @@
+"""Trial-tensorized execution: repro.engine.tensor and the sweep's
+``trial_batch`` mode.
+
+The headline contract is per-trial bit-identity: trial ``t`` extracted
+from a ``(trials, n[, k])`` tensor run must equal the legacy per-cell
+``run_batched`` run of the same seed — values, transmissions (category
+ledger included), ticks, error, and every trace point — for every
+tensorized protocol, at stride 1 (silent per-trial delegation) and at a
+real stride.  Around it: the fallback rules (faulted, round-based,
+traced, per-column multi-field → per-cell behind a
+``TrialBatchFallbackWarning``), the array-backend seam, the route-cache
+vectors the kernels consume, and the sweep-level ``trial_batch`` mode
+whose records and stores must be indistinguishable from per-cell runs.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from protocol_equivalence import (
+    CASES,
+    assert_results_identical,
+    initial_field_matrix,
+    initial_values,
+    run_engine,
+)
+from repro.engine.backend import ArrayBackend, available_backends, get_backend
+from repro.engine.batching import (
+    MultiFieldFallbackWarning,
+    ScalarFallbackWarning,
+    run_batched,
+)
+from repro.engine.executor import run_sweep_records
+from repro.engine.tensor import (
+    TrialBatchFallbackWarning,
+    run_trials_batched,
+    trial_batch_capability,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.seeds import spawn_rng
+from repro.gossip.base import AsynchronousGossip
+from repro.gossip.hierarchical.rounds import HierarchicalGossip
+from repro.gossip.randomized import RandomizedGossip
+from repro.graphs.rgg import RandomGeometricGraph
+
+
+class _ScalarPairGossip(AsynchronousGossip):
+    """Tick-driven but scalar-only: exercises the per-column fallback."""
+
+    name = "scalar-pair"
+
+    def tick(self, node, values, counter, rng):
+        partner = int(rng.integers(self.n - 1))
+        partner = partner + 1 if partner >= node else partner
+        average = 0.5 * (values[node] + values[partner])
+        values[node] = average
+        values[partner] = average
+        counter.charge(2, "near")
+
+#: Every tick-driven, fault-free golden case joins the tensor battery.
+TENSOR_CASES = [
+    "randomized",
+    "geographic-uniform",
+    "geographic-position",
+    "geographic-rejection",
+    "spatial",
+    "path-averaging",
+    "path-averaging-position",
+    "affine-kn",
+    "affine-kn-perturbed",
+]
+
+#: Cases whose exact type has a dedicated cross-trial kernel; the rest of
+#: TENSOR_CASES advance through the generic lockstep tick_block path.
+KERNEL_CASES = [
+    "randomized",
+    "geographic-uniform",
+    "spatial",
+    "path-averaging",
+    "affine-kn",
+    "affine-kn-perturbed",
+]
+
+_TRIALS = 3
+
+
+def run_tensor(name, seeds, check_stride, fields=None):
+    """One tensor run of ``CASES[name]`` across ``seeds``-many trials,
+    each trial seeded exactly like :func:`protocol_equivalence.run_engine`."""
+    case = CASES[name]
+    state = initial_values() if fields is None else initial_field_matrix(fields)
+    return run_trials_batched(
+        [case.factory() for _ in seeds],
+        [state.copy() for _ in seeds],
+        case.epsilon,
+        [spawn_rng(seed, "golden", case.name) for seed in seeds],
+        check_stride=check_stride,
+    )
+
+
+class TestCapability:
+    @pytest.mark.parametrize("name", KERNEL_CASES)
+    def test_kernel_cases(self, name):
+        assert trial_batch_capability(CASES[name].factory()) == "kernel"
+
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in TENSOR_CASES if n not in KERNEL_CASES],
+    )
+    def test_lockstep_cases(self, name):
+        assert trial_batch_capability(CASES[name].factory()) == "lockstep"
+
+    def test_per_cell_cases(self):
+        assert trial_batch_capability(object()) == "per-cell"
+        assert trial_batch_capability(CASES["hierarchical"].factory()) == (
+            "per-cell"
+        )
+
+
+class TestGoldenBitIdentity:
+    """Trial t of the tensor run == the per-cell run of the same seed."""
+
+    @pytest.mark.parametrize("check_stride", [1, 4])
+    @pytest.mark.parametrize("name", TENSOR_CASES)
+    def test_per_trial_bit_identical(self, name, check_stride):
+        seeds = [7 + t for t in range(_TRIALS)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", TrialBatchFallbackWarning)
+            batch = run_trials_batched(
+                [CASES[name].factory() for _ in seeds],
+                [initial_values() for _ in seeds],
+                CASES[name].epsilon,
+                [spawn_rng(seed, "golden", name) for seed in seeds],
+                check_stride=check_stride,
+            )
+        for t, seed in enumerate(seeds):
+            solo = run_engine(CASES[name], seed, check_stride)
+            assert_results_identical(
+                batch[t], solo, f"{name}, stride {check_stride}, trial {t}"
+            )
+
+    @pytest.mark.parametrize("name", KERNEL_CASES)
+    def test_multifield_per_trial_bit_identical(self, name):
+        """(trials, n, k) tensors reproduce per-cell (n, k) runs exactly."""
+        seeds = [7 + t for t in range(_TRIALS)]
+        batch = run_tensor(name, seeds, check_stride=4, fields=3)
+        for t, seed in enumerate(seeds):
+            solo = run_engine(CASES[name], seed, check_stride=4, fields=3)
+            assert_results_identical(
+                batch[t], solo, f"{name}, k=3, trial {t}"
+            )
+            np.testing.assert_array_equal(
+                np.asarray(batch[t].column_errors),
+                np.asarray(solo.column_errors),
+                err_msg=f"column errors differ ({name}, trial {t})",
+            )
+
+    def test_single_trial_batch(self):
+        """A slice of one trial is still exactly the per-cell run."""
+        batch = run_tensor("randomized", [7], check_stride=4)
+        solo = run_engine(CASES["randomized"], 7, check_stride=4)
+        assert_results_identical(batch[0], solo, "single-trial slice")
+
+
+class TestValidationAndFallback:
+    def _algorithms(self, count=2, name="randomized"):
+        return [CASES[name].factory() for _ in range(count)]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="per trial"):
+            run_trials_batched(
+                self._algorithms(2),
+                [initial_values()],
+                0.25,
+                [np.random.default_rng(0)],
+            )
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError, match="at least one trial"):
+            run_trials_batched([], [], 0.25, [])
+
+    def test_mixed_sizes_raise(self):
+        small = RandomGeometricGraph.sample_connected(
+            24, np.random.default_rng(3), radius_constant=3.0
+        )
+        algorithms = [
+            CASES["randomized"].factory(),
+            RandomizedGossip(small.neighbors),
+        ]
+        states = [initial_values(), np.zeros(24)]
+        with pytest.raises(ValueError, match="one size"):
+            run_trials_batched(
+                algorithms,
+                states,
+                0.25,
+                [np.random.default_rng(t) for t in range(2)],
+                check_stride=4,
+            )
+
+    def test_mixed_protocol_types_raise(self):
+        algorithms = [
+            CASES["randomized"].factory(),
+            CASES["spatial"].factory(),
+        ]
+        with pytest.raises(ValueError, match="one protocol type"):
+            run_trials_batched(
+                algorithms,
+                [initial_values() for _ in range(2)],
+                0.25,
+                [np.random.default_rng(t) for t in range(2)],
+                check_stride=4,
+            )
+
+    def test_nonpositive_epsilon_raises(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            run_trials_batched(
+                self._algorithms(),
+                [initial_values() for _ in range(2)],
+                0.0,
+                [np.random.default_rng(t) for t in range(2)],
+                check_stride=4,
+            )
+
+    def test_stride_one_delegates_silently(self):
+        """check_stride=1 is the legacy single-stream loop per trial —
+        delegation is the documented contract, not a fallback event."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", TrialBatchFallbackWarning)
+            batch = run_tensor("randomized", [7, 8], check_stride=1)
+        for t, seed in enumerate([7, 8]):
+            solo = run_engine(CASES["randomized"], seed, check_stride=1)
+            assert_results_identical(batch[t], solo, f"stride-1 trial {t}")
+
+    def test_round_based_protocol_warns_and_delegates(self):
+        graph = RandomGeometricGraph.sample_connected(
+            32, np.random.default_rng(5), radius_constant=3.0
+        )
+        values = np.random.default_rng(6).normal(size=32)
+        values -= values.mean()
+        with pytest.warns(TrialBatchFallbackWarning, match="no tick loop"):
+            batch = run_trials_batched(
+                [HierarchicalGossip(graph) for _ in range(2)],
+                [values.copy() for _ in range(2)],
+                0.25,
+                [np.random.default_rng(100 + t) for t in range(2)],
+                check_stride=4,
+            )
+        for t in range(2):
+            solo = run_batched(
+                HierarchicalGossip(graph),
+                values.copy(),
+                0.25,
+                np.random.default_rng(100 + t),
+                check_stride=4,
+            )
+            assert_results_identical(batch[t], solo, f"rounds trial {t}")
+
+    def test_per_column_multifield_warns_and_delegates(self):
+        """Matrix state on a per-column protocol falls back per trial."""
+        state = np.random.default_rng(6).normal(size=(48, 2))
+        state -= state.mean(axis=0)
+        with pytest.warns(TrialBatchFallbackWarning, match="per-column"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", MultiFieldFallbackWarning)
+                warnings.simplefilter("ignore", ScalarFallbackWarning)
+                batch = run_trials_batched(
+                    [_ScalarPairGossip(48) for _ in range(2)],
+                    [state.copy() for _ in range(2)],
+                    0.25,
+                    [np.random.default_rng(100 + t) for t in range(2)],
+                    check_stride=4,
+                    max_ticks=64,
+                )
+        assert len(batch) == 2
+        assert all(result.values.shape == (48, 2) for result in batch)
+
+
+class TestBackendSeam:
+    def test_numpy_is_the_only_backend(self):
+        assert available_backends() == ("numpy",)
+
+    def test_get_backend_returns_numpy_namespace(self):
+        backend = get_backend()
+        assert isinstance(backend, ArrayBackend)
+        assert backend.name == "numpy"
+        assert backend.xp is np
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="no-such"):
+            get_backend("no-such")
+
+    def test_run_accepts_explicit_backend(self):
+        case = CASES["randomized"]
+        batch = run_trials_batched(
+            [case.factory() for _ in range(2)],
+            [initial_values() for _ in range(2)],
+            case.epsilon,
+            [spawn_rng(7 + t, "golden", case.name) for t in range(2)],
+            check_stride=4,
+            backend="numpy",
+        )
+        solo = run_engine(case, 7, check_stride=4)
+        assert_results_identical(batch[0], solo, "explicit backend")
+
+
+class TestRouteStatsVectors:
+    """The cached (hops, dest) columns the routed kernels consume."""
+
+    @pytest.fixture()
+    def cache(self):
+        from repro.routing.cache import CachedGreedyRouter
+
+        graph = RandomGeometricGraph.sample_connected(
+            40, np.random.default_rng(11), radius_constant=3.0
+        )
+        return graph, CachedGreedyRouter(graph)
+
+    def test_stats_match_walked_routes(self, cache):
+        from repro.routing.cache import CachedGreedyRouter
+
+        graph, router = cache
+        reference = CachedGreedyRouter(graph)
+        for target in range(0, 40, 7):
+            hops, dest = router.route_stats(target)
+            for source in range(40):
+                walked = reference.route_to_node(source, target)
+                assert dest[source] == walked.path[-1]
+                assert hops[source] == walked.hops
+
+    def test_accounting_one_hit_or_miss_per_call(self, cache):
+        _, router = cache
+        router.route_stats(3)
+        assert (router.hits, router.misses) == (0, 1)
+        router.route_stats(3)
+        assert (router.hits, router.misses) == (1, 1)
+        # A column warmed by the scalar API counts as a hit for stats.
+        router.route_to_node(0, 9)
+        hits, misses = router.hits, router.misses
+        router.route_stats(9)
+        assert (router.hits, router.misses) == (hits + 1, misses)
+
+    def test_charge_lookups(self, cache):
+        _, router = cache
+        router.charge_lookups(5)
+        assert router.hits == 5
+        with pytest.raises(ValueError, match=">= 0"):
+            router.charge_lookups(-1)
+
+    def test_invalidate_discards_stats(self, cache):
+        _, router = cache
+        hops_before, _ = router.route_stats(3)
+        router.invalidate()
+        hops_after, dest_after = router.route_stats(3)
+        assert hops_after is not hops_before
+        np.testing.assert_array_equal(hops_after, hops_before)
+        assert int(dest_after[3]) == 3
+
+    def test_charge_misses(self, cache):
+        _, router = cache
+        router.charge_misses(4)
+        assert router.misses == 4
+        with pytest.raises(ValueError, match=">= 0"):
+            router.charge_misses(-1)
+
+    def test_unaccounted_stats_leave_ledger_untouched(self, cache):
+        # The shared-substrate tensor path computes stats on one router
+        # without accounting, then mirrors each trial's ledger by hand.
+        _, router = cache
+        hops, dest = router.route_stats(5, account=False)
+        assert (router.hits, router.misses) == (0, 0)
+        accounted = router.route_stats(5)
+        assert (router.hits, router.misses) == (1, 0)
+        assert accounted[0] is hops and accounted[1] is dest
+
+
+class TestSweepTrialBatch:
+    """run_sweep_records(trial_batch=True) is invisible in the records."""
+
+    CONFIG = ExperimentConfig(
+        sizes=(32, 48),
+        trials=3,
+        epsilon=0.3,
+        algorithms=("randomized", "geographic"),
+    )
+
+    def test_records_identical_to_per_cell(self):
+        base = run_sweep_records(self.CONFIG, check_stride=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", TrialBatchFallbackWarning)
+            batched = run_sweep_records(
+                self.CONFIG, check_stride=4, trial_batch=True
+            )
+        assert batched == base
+
+    def test_telemetry_marks_tensor_cells(self):
+        batched = run_sweep_records(
+            self.CONFIG, check_stride=4, trial_batch=True
+        )
+        base = run_sweep_records(self.CONFIG, check_stride=4)
+        for key, record in batched.items():
+            assert record.telemetry["trial_batch"] == 1.0
+            assert "trial_batch" not in base[key].telemetry
+
+    def test_workers_fan_out_slices(self):
+        base = run_sweep_records(self.CONFIG, check_stride=4)
+        batched = run_sweep_records(
+            self.CONFIG, check_stride=4, trial_batch=True, workers=2
+        )
+        assert batched == base
+
+    def test_round_based_cells_fall_back(self):
+        config = ExperimentConfig(
+            sizes=(32,),
+            trials=2,
+            epsilon=0.3,
+            algorithms=("randomized", "hierarchical"),
+        )
+        with pytest.warns(TrialBatchFallbackWarning, match="hierarchical"):
+            batched = run_sweep_records(
+                config, check_stride=4, trial_batch=True
+            )
+        assert batched == run_sweep_records(config, check_stride=4)
+
+    def test_faulted_sweep_falls_back_whole(self):
+        config = ExperimentConfig(
+            sizes=(32,),
+            trials=2,
+            epsilon=0.3,
+            algorithms=("randomized",),
+            faults="churn=0.1",
+        )
+        with pytest.warns(TrialBatchFallbackWarning, match="fault"):
+            batched = run_sweep_records(
+                config, check_stride=4, trial_batch=True
+            )
+        assert batched == run_sweep_records(config, check_stride=4)
+
+    def test_stride_one_sweep_identical(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", TrialBatchFallbackWarning)
+            batched = run_sweep_records(
+                self.CONFIG, check_stride=1, trial_batch=True
+            )
+        assert batched == run_sweep_records(self.CONFIG, check_stride=1)
