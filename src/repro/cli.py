@@ -1,16 +1,27 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the common workflows without writing any code:
+Eight commands cover the common workflows without writing any code:
 
-* ``run``      — one algorithm, one field, one graph; prints the outcome
-  and an ASCII view of the field before/after.
-* ``sweep``    — the scaling sweep (experiment E7) at chosen sizes.
-* ``inspect``  — build and display the hierarchy for a placement.
-* ``trace``    — one run under the structured event recorder; writes the
-  JSONL trace and draws its convergence/fault timeline.
-* ``replay``   — re-derive a trace's numbers from its events alone
+* ``run``         — one algorithm, one field, one graph; prints the
+  outcome and an ASCII view of the field before/after.
+* ``sweep``       — the scaling sweep (experiment E7) at chosen sizes.
+* ``serve-sweep`` — the same sweep, distributed: a coordinator enqueues
+  cells on a file-backed lease queue and spawns crash-surviving worker
+  processes (:mod:`repro.engine.service`); results are bit-identical to
+  ``sweep`` at any worker count, even across worker kills.
+* ``work``        — one worker process; attaches to a queue directory
+  and pulls cells until the queue drains (``serve-sweep`` spawns these,
+  but extra workers can be pointed at the same queue from other shells
+  or hosts sharing the filesystem).
+* ``inspect``     — build and display the hierarchy for a placement.
+* ``trace``       — one run under the structured event recorder; writes
+  the JSONL trace and draws its convergence/fault timeline.
+* ``replay``      — re-derive a trace's numbers from its events alone
   (:mod:`repro.observability.replay`) and check them against the stored
   cell records when the trace lives under a sweep store.
+* ``store-diff``  — compare two result-store roots record by record
+  (canonical bytes, timing/telemetry excluded); exits 1 on any
+  difference.  The distributed ≡ serial assertion as a shell command.
 
 ``run`` and ``sweep`` execute through :mod:`repro.engine`: ``--check-stride``
 selects the batched tick path (``1`` = the bit-identical legacy loop),
@@ -34,6 +45,9 @@ Examples::
     python -m repro replay run.jsonl
     python -m repro sweep --sizes 128,256 --store-dir results --trace
     python -m repro replay results
+    python -m repro serve-sweep --sizes 128,256 --workers 3 \
+        --store-dir results --resume
+    python -m repro store-diff results other-results
 """
 
 from __future__ import annotations
@@ -207,34 +221,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_multifield_flags(run)
     _add_fault_flags(run)
 
+    def _add_sweep_grid_flags(parser: argparse.ArgumentParser) -> None:
+        """The sweep-grid flags ``sweep`` and ``serve-sweep`` share, so a
+        distributed session accepts exactly the serial sweep's config."""
+        parser.add_argument("--sizes", default="128,256,512")
+        parser.add_argument("--epsilon", type=float, default=0.2)
+        parser.add_argument("--trials", type=int, default=2)
+        parser.add_argument(
+            "--topology",
+            choices=topology_names(),
+            default="rgg",
+            help="graph family from the topology zoo (default: flat RGG)",
+        )
+        parser.add_argument(
+            "--field", choices=sorted(FIELD_GENERATORS), default="gradient"
+        )
+        parser.add_argument("--seed", type=int, default=20070801)
+        parser.add_argument(
+            "--algorithms", default="randomized,geographic,hierarchical"
+        )
+        parser.add_argument(
+            "--check-stride",
+            type=_positive_int,
+            default=1,
+            help="engine error-check stride (1 = legacy bit-identical loop)",
+        )
+        _add_multifield_flags(parser)
+        _add_fault_flags(parser)
+
     sweep = sub.add_parser("sweep", help="scaling sweep (experiment E7)")
-    sweep.add_argument("--sizes", default="128,256,512")
-    sweep.add_argument("--epsilon", type=float, default=0.2)
-    sweep.add_argument("--trials", type=int, default=2)
-    sweep.add_argument(
-        "--topology",
-        choices=topology_names(),
-        default="rgg",
-        help="graph family from the topology zoo (default: flat RGG)",
-    )
-    sweep.add_argument(
-        "--field", choices=sorted(FIELD_GENERATORS), default="gradient"
-    )
-    sweep.add_argument("--seed", type=int, default=20070801)
-    sweep.add_argument(
-        "--algorithms", default="randomized,geographic,hierarchical"
-    )
+    _add_sweep_grid_flags(sweep)
     sweep.add_argument(
         "--workers",
         type=_positive_int,
         default=1,
         help="parallel grid-cell workers (results identical at any count)",
-    )
-    sweep.add_argument(
-        "--check-stride",
-        type=_positive_int,
-        default=1,
-        help="engine error-check stride (1 = legacy bit-identical loop)",
     )
     sweep.add_argument(
         "--store-dir",
@@ -260,8 +281,109 @@ def build_parser() -> argparse.ArgumentParser:
         "tensorized kernel pass where eligible (same results and store "
         "keys; ineligible cells fall back per-cell with a warning)",
     )
-    _add_multifield_flags(sweep)
-    _add_fault_flags(sweep)
+
+    serve = sub.add_parser(
+        "serve-sweep",
+        help="the scaling sweep, distributed across crash-surviving worker "
+        "processes via a file-backed lease queue (bit-identical to 'sweep')",
+    )
+    _add_sweep_grid_flags(serve)
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="worker processes to spawn (results identical at any count)",
+    )
+    serve.add_argument(
+        "--store-dir",
+        required=True,
+        help="the canonical result store the shards merge into",
+    )
+    serve.add_argument(
+        "--queue-dir",
+        default=None,
+        help="lease queue + per-worker shard directory (default: "
+        "<store-dir>/_service_queue)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse already-finished cells (including shards a crashed "
+        "session left in the queue dir) instead of starting fresh",
+    )
+    serve.add_argument(
+        "--ttl",
+        type=float,
+        default=10.0,
+        help="seconds without a heartbeat before a lease counts as stale "
+        "and may be reclaimed",
+    )
+    serve.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        help="seconds between a worker's heartbeats on its held lease",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        help="idle-poll interval for workers and the coordinator",
+    )
+    serve.add_argument(
+        "--worker-throttle",
+        type=float,
+        default=0.0,
+        help="chaos/testing knob: each worker sleeps this many seconds "
+        "inside every leased window before executing (numbers unaffected)",
+    )
+    serve.add_argument(
+        "--chaos-kill-after",
+        type=float,
+        default=None,
+        help="chaos/testing knob: SIGKILL one live worker this many "
+        "seconds into the session and let reclamation recover it",
+    )
+    serve.add_argument(
+        "--max-respawns",
+        type=_positive_int,
+        default=None,
+        help="replacement workers to spawn when the whole fleet has died "
+        "with cells unfinished (default: --workers)",
+    )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="write each cell's structured event stream under the shard "
+        "stores; merged into <store>/<key>/traces/ "
+        "(validate with 'repro replay')",
+    )
+
+    work = sub.add_parser(
+        "work",
+        help="one sweep-service worker: attach to a queue directory and "
+        "pull cells until the queue drains ('serve-sweep' spawns these)",
+    )
+    work.add_argument(
+        "--queue-dir",
+        required=True,
+        help="the lease queue a 'serve-sweep' session created",
+    )
+    work.add_argument(
+        "--worker-id",
+        default=None,
+        help="shard / lease-owner identity (default: pid-based; must be "
+        "unique per live worker on the queue)",
+    )
+    work.add_argument("--heartbeat-interval", type=float, default=1.0)
+    work.add_argument("--poll-interval", type=float, default=0.2)
+    work.add_argument(
+        "--throttle",
+        type=float,
+        default=0.0,
+        help="chaos/testing knob: sleep this many seconds inside each "
+        "leased window before executing",
+    )
 
     inspect = sub.add_parser("inspect", help="build and display a hierarchy")
     inspect.add_argument("--n", type=int, default=1024)
@@ -317,6 +439,14 @@ def build_parser() -> argparse.ArgumentParser:
         "store root (every **/traces/*.jsonl is validated against its "
         "stored cell record)",
     )
+
+    diff = sub.add_parser(
+        "store-diff",
+        help="compare two result-store roots record by record (canonical "
+        "bytes; timing/telemetry excluded) — exit 1 on any difference",
+    )
+    diff.add_argument("left", help="first store root")
+    diff.add_argument("right", help="second store root")
     return parser
 
 
@@ -530,13 +660,16 @@ def _command_replay(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
-def _command_sweep(args: argparse.Namespace) -> int:
+def _sweep_config(args: argparse.Namespace) -> ExperimentConfig:
+    """The ExperimentConfig a sweep-grid flag set names (usage errors
+    exit cleanly).  ``sweep`` and ``serve-sweep`` share this, which is
+    what makes their stores interchangeable."""
     sizes = tuple(int(s) for s in args.sizes.split(","))
     algorithms = tuple(a.strip() for a in args.algorithms.split(","))
     spec = _fault_spec(args)
     _reject_fault_incompatible(spec, algorithms)
     try:
-        config = ExperimentConfig(
+        return ExperimentConfig(
             sizes=sizes,
             epsilon=args.epsilon,
             trials=args.trials,
@@ -550,30 +683,14 @@ def _command_sweep(args: argparse.Namespace) -> int:
         )
     except ValueError as error:
         _usage_error(str(error))
-    store = None
-    if args.store_dir is not None:
-        store = ResultStore(args.store_dir, config, args.check_stride)
-        already = len(store.load_records()) if args.resume else 0
-        if not args.resume:
-            store.reset()
-        print(
-            f"store: {store.directory}"
-            + (f" (resuming past {already} finished cells)" if already else "")
-        )
-    elif args.resume:
-        print("--resume requires --store-dir", file=sys.stderr)
-        return 2
-    if args.trace and store is None:
-        print("--trace requires --store-dir", file=sys.stderr)
-        return 2
-    sweep = run_scaling_sweep(
-        config,
-        workers=args.workers,
-        check_stride=args.check_stride,
-        store=store,
-        trace=args.trace,
-        trial_batch=args.trial_batch,
-    )
+
+
+def _print_sweep_tables(
+    args: argparse.Namespace, config: ExperimentConfig, sweep
+) -> None:
+    """The sweep summary tables ``sweep`` and ``serve-sweep`` both print."""
+    sizes = config.sizes
+    algorithms = config.algorithms
     rows = []
     for n in sizes:
         row = [n]
@@ -633,6 +750,35 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 title="mean wall clock per cell (ms)",
             )
         )
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    config = _sweep_config(args)
+    store = None
+    if args.store_dir is not None:
+        store = ResultStore(args.store_dir, config, args.check_stride)
+        already = len(store.load_records()) if args.resume else 0
+        if not args.resume:
+            store.reset()
+        print(
+            f"store: {store.directory}"
+            + (f" (resuming past {already} finished cells)" if already else "")
+        )
+    elif args.resume:
+        print("--resume requires --store-dir", file=sys.stderr)
+        return 2
+    if args.trace and store is None:
+        print("--trace requires --store-dir", file=sys.stderr)
+        return 2
+    sweep = run_scaling_sweep(
+        config,
+        workers=args.workers,
+        check_stride=args.check_stride,
+        store=store,
+        trace=args.trace,
+        trial_batch=args.trial_batch,
+    )
+    _print_sweep_tables(args, config, sweep)
     if args.trace and store is not None:
         traces = sorted((store.directory / "traces").glob("*.jsonl"))
         print(
@@ -640,6 +786,104 @@ def _command_sweep(args: argparse.Namespace) -> int:
             f"{store.directory / 'traces'} "
             f"(validate with: python -m repro replay {store.directory})"
         )
+    return 0
+
+
+def _command_serve_sweep(args: argparse.Namespace) -> int:
+    import shutil
+
+    from repro.engine.service import run_distributed_sweep
+    from repro.experiments.report import sweep_from_store
+
+    config = _sweep_config(args)
+    store = ResultStore(args.store_dir, config, args.check_stride)
+    queue_dir = (
+        Path(args.queue_dir)
+        if args.queue_dir is not None
+        else Path(args.store_dir) / "_service_queue"
+    )
+    if not args.resume:
+        store.reset()
+        if queue_dir.exists():
+            shutil.rmtree(queue_dir)
+    already = len(store.load_records()) if args.resume else 0
+    print(
+        f"store: {store.directory}"
+        + (f" (resuming past {already} finished cells)" if already else "")
+    )
+    print(f"queue: {queue_dir} ({args.workers} workers, ttl {args.ttl}s)")
+
+    def _progress(stats) -> None:
+        print(
+            f"  {stats.done}/{stats.total} cells done, "
+            f"{stats.leased} leased, {stats.reclamations} reclamations",
+            flush=True,
+        )
+
+    try:
+        run_distributed_sweep(
+            config,
+            store=store,
+            queue_dir=queue_dir,
+            workers=args.workers,
+            check_stride=args.check_stride,
+            ttl=args.ttl,
+            heartbeat_interval=args.heartbeat_interval,
+            poll_interval=args.poll_interval,
+            worker_throttle=args.worker_throttle,
+            trace=args.trace,
+            chaos_kill_after=args.chaos_kill_after,
+            max_respawns=args.max_respawns,
+            on_progress=_progress,
+        )
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    _print_sweep_tables(args, config, sweep_from_store(store))
+    print(
+        f"\nmerged store: {store.directory}  "
+        f"(partial report + telemetry under {queue_dir})"
+    )
+    if args.trace:
+        print(f"validate traces with: python -m repro replay {store.root}")
+    return 0
+
+
+def _command_work(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.engine.service import run_worker
+
+    worker_id = (
+        args.worker_id if args.worker_id is not None else f"pid{os.getpid()}"
+    )
+    try:
+        completed = run_worker(
+            args.queue_dir,
+            worker_id,
+            heartbeat_interval=args.heartbeat_interval,
+            poll_interval=args.poll_interval,
+            throttle=args.throttle,
+        )
+    except FileNotFoundError as error:
+        _usage_error(str(error))
+    print(f"worker {worker_id}: {completed} cells completed, queue drained")
+    return 0
+
+
+def _command_store_diff(args: argparse.Namespace) -> int:
+    from repro.engine.service import diff_stores
+
+    for side in (args.left, args.right):
+        if not Path(side).is_dir():
+            _usage_error(f"{side}: not a store root (directory not found)")
+    differences = diff_stores(args.left, args.right)
+    for line in differences:
+        print(line)
+    if differences:
+        print(f"\n{len(differences)} difference(s)")
+        return 1
+    print(f"stores identical: {args.left} == {args.right}")
     return 0
 
 
@@ -681,9 +925,12 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _command_run,
         "sweep": _command_sweep,
+        "serve-sweep": _command_serve_sweep,
+        "work": _command_work,
         "inspect": _command_inspect,
         "trace": _command_trace,
         "replay": _command_replay,
+        "store-diff": _command_store_diff,
     }
     return handlers[args.command](args)
 

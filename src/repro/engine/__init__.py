@@ -29,6 +29,14 @@ multi-field) fall back to the per-cell path with a
 :class:`~repro.engine.tensor.TrialBatchFallbackWarning`.  The array
 namespace the kernels use comes from :mod:`repro.engine.backend`.
 
+A fifth layer distributes the sweep across *processes that may die*:
+:mod:`repro.engine.queue` is a file-backed lease queue (claim via
+``O_CREAT | O_EXCL``, heartbeats, stale-lease reclamation) and
+:mod:`repro.engine.service` runs worker fleets against it, merging
+per-worker store shards back into one canonical store with byte-level
+divergence checking.  Because every cell's randomness derives from the
+root seed, a distributed sweep is bit-identical to a serial one.
+
 ``repro.experiments.runner`` and the CLI sit on top of this package; the
 benchmarks route through them, so every experiment inherits the engine.
 """
@@ -57,7 +65,20 @@ from repro.engine.executor import (
     expand_grid,
     run_sweep_records,
 )
-from repro.engine.store import ResultStore, content_key
+from repro.engine.queue import Lease, LeaseLost, LeaseQueue, QueueStats, cell_id
+from repro.engine.service import (
+    diff_stores,
+    merge_shards,
+    run_distributed_sweep,
+    run_worker,
+    worker_store,
+)
+from repro.engine.store import (
+    ResultStore,
+    ShardDivergenceError,
+    canonical_record_bytes,
+    content_key,
+)
 from repro.engine.tensor import (
     TrialBatchFallbackWarning,
     run_trials_batched,
@@ -68,9 +89,14 @@ __all__ = [
     "ArrayBackend",
     "CellRecord",
     "DEFAULT_BLOCK_SIZE",
+    "Lease",
+    "LeaseLost",
+    "LeaseQueue",
     "MultiFieldFallbackWarning",
+    "QueueStats",
     "ResultStore",
     "ScalarFallbackWarning",
+    "ShardDivergenceError",
     "SweepCell",
     "TrialBatchFallbackWarning",
     "UncenteredFieldWarning",
@@ -81,15 +107,22 @@ __all__ = [
     "build_graph",
     "build_instance",
     "build_values",
+    "canonical_record_bytes",
+    "cell_id",
     "content_key",
+    "diff_stores",
     "execute_cell",
     "execute_trial_slice",
     "expand_grid",
     "get_backend",
+    "merge_shards",
     "multifield_capability",
     "run_batched",
+    "run_distributed_sweep",
     "run_sweep_records",
     "run_trials_batched",
+    "run_worker",
     "split_streams",
     "trial_batch_capability",
+    "worker_store",
 ]

@@ -1,0 +1,454 @@
+"""File-backed lease queue: the work-distribution substrate of the sweep
+service.
+
+A distributed sweep needs exactly one piece of shared mutable state: *who
+is working on which cell right now*.  Everything else — what a cell is,
+how it executes, where its record lands — is already deterministic and
+append-only.  This module keeps that one piece of state on the
+filesystem, using only atomic primitives every POSIX filesystem provides
+(``O_CREAT | O_EXCL`` exclusive creation, ``os.rename`` within a
+directory), so N worker *processes* (or N hosts over a shared
+filesystem) can coordinate without a broker.
+
+Layout::
+
+    <queue root>/
+      manifest.json            # cells, lease ttl, opaque service payload
+      leases/<cell>.json       # live lease: owner, heartbeat, attempt
+      done/<cell>.json         # completion marker: owner, attempt, timing
+      reclaimed/<cell>.a<k>.json  # audit log of every reclaimed lease
+
+Lease lifecycle (see ``docs/sweep_service.md`` for the full rules):
+
+* **claim** — a worker acquires a pending cell by *exclusively creating*
+  its lease file; exactly one creator wins.  A cell is pending when it
+  has no ``done`` marker and no live lease.
+* **heartbeat** — the owner periodically rewrites the lease with a fresh
+  timestamp (atomic temp-file + ``os.replace``).  A heartbeat against a
+  lease that was stolen or superseded raises :class:`LeaseLost`.
+* **reclaim** — a lease whose heartbeat is older than the queue's
+  ``ttl`` is presumed dead.  A claimant steals it by *renaming* the stale
+  lease into the ``reclaimed/`` graveyard — rename is the atomic arbiter,
+  so exactly one stealer wins — then claims the cell fresh with the
+  attempt counter bumped.
+* **complete** — the owner writes the ``done`` marker (atomic replace,
+  idempotent) and removes its lease.
+
+The queue never executes anything and never talks to the result store;
+it only arbitrates ownership.  Duplicate execution is *possible by
+design* (a worker that stalls past the ttl is presumed dead, gets
+reclaimed, then wakes up and finishes anyway) and harmless: cells are
+deterministic, so duplicates are byte-identical and the shard merger
+(:func:`repro.engine.service.merge_shards`) deduplicates them — and
+*asserts* the byte-identity, which turns the failure mode into a
+nondeterminism detector.
+
+The clock is injectable (``clock=time.time`` by default) so tests can
+drive reclamation deterministically with a fake clock; real deployments
+share wall-clock time across workers, and the ttl should be chosen
+orders of magnitude above plausible clock skew.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+from repro.engine.executor import SweepCell
+
+__all__ = [
+    "Lease",
+    "LeaseLost",
+    "LeaseQueue",
+    "QueueStats",
+    "cell_id",
+]
+
+#: Bump when the on-disk queue layout changes; refuses foreign manifests.
+QUEUE_FORMAT = 1
+
+
+def cell_id(cell: SweepCell) -> str:
+    """The filesystem-safe identity of one sweep cell.
+
+    Matches the trace-file naming convention
+    (:func:`repro.engine.executor.cell_trace_path`) so a cell's lease,
+    done marker, and trace all carry the same stem.
+    """
+    return f"{cell.algorithm}__n{cell.n}__t{cell.trial}"
+
+
+class LeaseLost(RuntimeError):
+    """Raised when a worker heartbeats a lease it no longer owns.
+
+    This happens when the worker stalled past the queue ttl and another
+    worker reclaimed the cell.  The correct response is to finish (or
+    abandon) the current cell and move on: the record is deterministic,
+    so a duplicate completion merges cleanly.
+    """
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A worker's claim on one cell: the handle for heartbeat/complete."""
+
+    cell: SweepCell
+    owner: str
+    attempt: int
+    path: Path
+    claimed_at: float
+
+    @property
+    def id(self) -> str:
+        """The leased cell's :func:`cell_id`."""
+        return cell_id(self.cell)
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """One snapshot of queue health (the service telemetry payload).
+
+    ``pending`` counts cells that are claimable right now — no done
+    marker and no *live* lease; a stale-leased cell is pending, because
+    the next claimant will reclaim it.
+    """
+
+    total: int
+    pending: int
+    leased: int
+    done: int
+    reclamations: int
+
+
+class LeaseQueue:
+    """Lease-based work queue over a directory of sweep cells.
+
+    Create one per distributed sweep session with :meth:`create` (the
+    coordinator), attach from worker processes with :meth:`open`.
+
+    Parameters
+    ----------
+    root:
+        The queue directory.
+    clock:
+        Seconds-returning callable used for heartbeats and staleness;
+        injectable so tests can simulate time deterministically.
+    """
+
+    def __init__(
+        self, root: "str | os.PathLike", clock: Callable[[], float] = time.time
+    ):
+        self.root = Path(root)
+        self.manifest_path = self.root / "manifest.json"
+        self.lease_dir = self.root / "leases"
+        self.done_dir = self.root / "done"
+        self.reclaimed_dir = self.root / "reclaimed"
+        self._clock = clock
+        self._manifest: dict | None = None
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: "str | os.PathLike",
+        cells: Iterable[SweepCell],
+        *,
+        ttl: float,
+        payload: "Mapping | None" = None,
+        clock: Callable[[], float] = time.time,
+    ) -> "LeaseQueue":
+        """Initialise a fresh queue session holding ``cells``.
+
+        Any prior session state under ``root`` (leases, done markers,
+        reclamation log, manifest) is wiped — a new session decides
+        pending-ness from the *result store*, not from old markers.
+        Sibling directories (notably ``shards/``) are left untouched so
+        a crashed session's completed work survives into the next one.
+
+        ``payload`` is an opaque service descriptor (the sweep config,
+        stride, trace flag…) that workers read back via
+        :meth:`manifest`.
+        """
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        queue = cls(root, clock=clock)
+        cell_list = [list(cell.key) for cell in cells]
+        for directory in (queue.lease_dir, queue.done_dir, queue.reclaimed_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+            for stale in directory.glob("*.json"):
+                stale.unlink()
+        manifest = {
+            "format": QUEUE_FORMAT,
+            "ttl": float(ttl),
+            "cells": cell_list,
+            "payload": dict(payload) if payload is not None else {},
+        }
+        _atomic_write_json(queue.manifest_path, manifest)
+        queue._manifest = manifest
+        return queue
+
+    @classmethod
+    def open(
+        cls, root: "str | os.PathLike", clock: Callable[[], float] = time.time
+    ) -> "LeaseQueue":
+        """Attach to an existing queue session (the worker entry)."""
+        queue = cls(root, clock=clock)
+        queue.manifest()  # raises early on a missing/foreign queue
+        return queue
+
+    def manifest(self) -> dict:
+        """The session descriptor written by :meth:`create` (cached)."""
+        if self._manifest is None:
+            try:
+                manifest = json.loads(
+                    self.manifest_path.read_text(encoding="utf-8")
+                )
+            except FileNotFoundError:
+                raise FileNotFoundError(
+                    f"{self.root} holds no queue manifest — create the "
+                    "session first (repro serve-sweep, or LeaseQueue.create)"
+                ) from None
+            if manifest.get("format") != QUEUE_FORMAT:
+                raise ValueError(
+                    f"queue {self.root} has format "
+                    f"{manifest.get('format')!r}, this engine speaks "
+                    f"{QUEUE_FORMAT}"
+                )
+            self._manifest = manifest
+        return self._manifest
+
+    @property
+    def ttl(self) -> float:
+        """Seconds after the last heartbeat at which a lease is stale."""
+        return float(self.manifest()["ttl"])
+
+    def cells(self) -> list[SweepCell]:
+        """The session's cells, in enqueue (= claim-priority) order."""
+        return [
+            SweepCell(algorithm=str(a), n=int(n), trial=int(t))
+            for a, n, t in self.manifest()["cells"]
+        ]
+
+    # -- lease protocol ------------------------------------------------
+
+    def claim(self, owner: str) -> "Lease | None":
+        """Acquire the first claimable cell for ``owner``.
+
+        Walks cells in enqueue order, skipping completed cells and live
+        leases; a stale lease is reclaimed (renamed into the graveyard —
+        the atomic arbiter, one winner per steal) and the cell claimed
+        fresh with its attempt counter bumped.  Returns ``None`` when
+        nothing is claimable right now — which means either the queue is
+        drained (:meth:`drained`) or every remaining cell is under a
+        live lease (poll again after a beat).
+        """
+        for cell in self.cells():
+            cid = cell_id(cell)
+            if (self.done_dir / f"{cid}.json").exists():
+                continue
+            lease_path = self.lease_dir / f"{cid}.json"
+            attempt = 1
+            if lease_path.exists():
+                entry = _read_json(lease_path)
+                # An unreadable lease is a torn write from a claimant
+                # that died mid-claim: heartbeat unknown => stale.
+                heartbeat = (
+                    float(entry["heartbeat"])
+                    if entry is not None and "heartbeat" in entry
+                    else float("-inf")
+                )
+                now = self._clock()
+                if now - heartbeat < self.ttl:
+                    continue  # live lease; not ours to touch
+                attempt = (
+                    int(entry.get("attempt", 0)) + 1 if entry is not None else 1
+                )
+                grave = self.reclaimed_dir / f"{cid}.a{attempt - 1}.json"
+                try:
+                    os.rename(lease_path, grave)
+                except FileNotFoundError:
+                    continue  # lost the reclaim race
+                # The winner owns the graveyard file exclusively now;
+                # annotate it so the audit log carries the full story.
+                audit = _read_json(grave) or {}
+                audit.update(
+                    {
+                        "cell": list(cell.key),
+                        "reclaimed_by": owner,
+                        "reclaimed_at": now,
+                        "stale_heartbeat": (
+                            None if heartbeat == float("-inf") else heartbeat
+                        ),
+                    }
+                )
+                _atomic_write_json(grave, audit)
+            try:
+                fd = os.open(
+                    lease_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                continue  # another claimant got here first
+            now = self._clock()
+            entry = {
+                "cell": list(cell.key),
+                "owner": owner,
+                "attempt": attempt,
+                "claimed_at": now,
+                "heartbeat": now,
+            }
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+                handle.flush()
+            return Lease(
+                cell=cell,
+                owner=owner,
+                attempt=attempt,
+                path=lease_path,
+                claimed_at=now,
+            )
+        return None
+
+    def heartbeat(self, lease: Lease) -> None:
+        """Refresh ``lease``'s timestamp; raises :class:`LeaseLost` if the
+        lease was reclaimed (or superseded) since the last beat."""
+        entry = _read_json(lease.path)
+        if (
+            entry is None
+            or entry.get("owner") != lease.owner
+            or int(entry.get("attempt", -1)) != lease.attempt
+        ):
+            raise LeaseLost(
+                f"{lease.owner} no longer owns {lease.id} "
+                f"(attempt {lease.attempt}): the lease went stale and was "
+                "reclaimed"
+            )
+        entry["heartbeat"] = self._clock()
+        _atomic_write_json(lease.path, entry)
+
+    def complete(self, lease: Lease) -> None:
+        """Mark the leased cell done and release the lease.
+
+        Idempotent by construction: the done marker is an atomic
+        replace, so a duplicate completion (a reclaimed-but-alive worker
+        finishing anyway) simply rewrites it.  The lease file is removed
+        only if this worker still owns it.
+        """
+        marker = {
+            "cell": list(lease.cell.key),
+            "owner": lease.owner,
+            "attempt": lease.attempt,
+            "claimed_at": lease.claimed_at,
+            "completed_at": self._clock(),
+        }
+        _atomic_write_json(self.done_dir / f"{lease.id}.json", marker)
+        self.release(lease)
+
+    def release(self, lease: Lease) -> None:
+        """Drop ``lease`` without completing (graceful mid-cell shutdown);
+        the cell becomes immediately claimable again."""
+        entry = _read_json(lease.path)
+        if (
+            entry is not None
+            and entry.get("owner") == lease.owner
+            and int(entry.get("attempt", -1)) == lease.attempt
+        ):
+            try:
+                lease.path.unlink()
+            except FileNotFoundError:
+                pass
+
+    # -- observation ---------------------------------------------------
+
+    def done_cells(self) -> set[str]:
+        """Cell ids carrying a completion marker."""
+        return {path.stem for path in self.done_dir.glob("*.json")}
+
+    def lease_owners(self) -> set[str]:
+        """Owners currently holding a *live* lease (stale ones excluded).
+
+        The coordinator's chaos-kill knob uses this to pick a victim
+        that is provably mid-cell, so an injected kill always exercises
+        the reclamation path rather than racing worker startup.
+        """
+        now = self._clock()
+        owners: set[str] = set()
+        for path in self.lease_dir.glob("*.json"):
+            entry = _read_json(path)
+            if entry is None or "owner" not in entry:
+                continue
+            if now - float(entry.get("heartbeat", float("-inf"))) < self.ttl:
+                owners.add(str(entry["owner"]))
+        return owners
+
+    def drained(self) -> bool:
+        """True when every enqueued cell has a completion marker."""
+        done = self.done_cells()
+        return all(cell_id(cell) in done for cell in self.cells())
+
+    def stats(self) -> QueueStats:
+        """Queue-health snapshot: depth, live leases, completions,
+        cumulative reclamations (the service telemetry payload)."""
+        cells = self.cells()
+        done = self.done_cells()
+        now = self._clock()
+        leased = 0
+        finished = 0
+        for cell in cells:
+            cid = cell_id(cell)
+            if cid in done:
+                finished += 1
+                continue
+            entry = _read_json(self.lease_dir / f"{cid}.json")
+            if entry is not None and now - float(
+                entry.get("heartbeat", float("-inf"))
+            ) < self.ttl:
+                leased += 1
+        return QueueStats(
+            total=len(cells),
+            pending=len(cells) - finished - leased,
+            leased=leased,
+            done=finished,
+            reclamations=sum(1 for _ in self.reclaimed_dir.glob("*.json")),
+        )
+
+    def reclamation_log(self) -> list[dict]:
+        """Every reclamation's audit entry (sorted by graveyard name)."""
+        entries = []
+        for path in sorted(self.reclaimed_dir.glob("*.json")):
+            entry = _read_json(path)
+            if entry is not None:
+                entries.append(entry)
+        return entries
+
+    def done_log(self) -> list[dict]:
+        """Every completion marker (owner, attempt, timing), sorted."""
+        entries = []
+        for path in sorted(self.done_dir.glob("*.json")):
+            entry = _read_json(path)
+            if entry is not None:
+                entries.append(entry)
+        return entries
+
+
+def _read_json(path: Path) -> "dict | None":
+    """Parse one JSON file; ``None`` on missing or torn content."""
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+
+
+def _atomic_write_json(path: Path, payload: Mapping) -> None:
+    """Write ``payload`` via temp file + ``os.replace`` (atomic on POSIX).
+
+    The temp name embeds the pid so two processes atomically writing the
+    same target never collide on the intermediate file.
+    """
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+    os.replace(tmp, path)

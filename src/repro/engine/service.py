@@ -1,0 +1,594 @@
+"""Sharded sweep service: coordinator, crash-surviving workers, shard merge.
+
+The fifth engine layer turns the process-pool executor into a *fleet*:
+sweep cells are enqueued as leases on a :class:`~repro.engine.queue.LeaseQueue`,
+N worker **processes** (:func:`run_worker`, spawned via the
+``repro serve-sweep`` / ``repro work`` CLI pair) pull cells, execute them
+through the exact per-cell paths the serial engine uses
+(:func:`~repro.engine.executor.execute_cell`), and append records to
+*per-worker sharded store directories*; a merger
+(:func:`merge_shards`) folds the shards back into one canonical
+:class:`~repro.engine.store.ResultStore` keyed by the sweep's content key.
+
+The correctness contract is the one PR 1 established for the process
+pool, extended one ring out: **serial ≡ parallel ≡ distributed**.  Every
+cell derives all of its randomness from the sweep's root seed, so it does
+not matter which worker runs it, how many times it runs, or in what
+order — the merged store is bit-identical (per canonical record bytes)
+to a serial sweep of the same config, *including* runs where workers are
+SIGKILLed mid-cell and their leases are reclaimed.  Duplicate
+completions (a stalled worker presumed dead that later finishes anyway)
+are resolved first-by-cell-key in deterministic shard order, and the
+byte-identity of the discarded copy is *asserted*
+(:class:`~repro.engine.store.ShardDivergenceError`), which doubles as a
+corruption/nondeterminism detector.
+
+Failure handling in one line each (the full matrix lives in
+``docs/sweep_service.md``):
+
+* worker dies mid-cell → its lease heartbeat goes stale, a surviving
+  worker reclaims and re-executes;
+* every worker dies → the coordinator respawns replacements (bounded);
+* coordinator dies → completed shards survive on disk; the next
+  ``serve-sweep`` merges them before enqueueing only what is missing;
+* a shard record disagrees with the canonical store → the merge raises,
+  nothing is silently overwritten.
+
+The streaming aggregator (:func:`publish_partial_report`) renders the
+partial sweep table after every completed cell, and service telemetry
+(queue depth, reclamations, per-worker throughput — built on the PR 6
+telemetry conventions via
+:func:`repro.observability.telemetry.service_telemetry`) lands in
+``<queue>/telemetry.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.engine.executor import (
+    CellKey,
+    CellRecord,
+    execute_cell,
+    expand_grid,
+)
+from repro.engine.queue import LeaseLost, LeaseQueue, QueueStats
+from repro.engine.store import (
+    ResultStore,
+    canonical_record_bytes,
+    content_key,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a layer cycle
+    from repro.experiments.config import ExperimentConfig
+
+__all__ = [
+    "config_from_payload",
+    "config_payload",
+    "diff_stores",
+    "merge_shards",
+    "publish_partial_report",
+    "run_distributed_sweep",
+    "run_worker",
+    "service_manifest",
+    "shards_root",
+    "worker_store",
+]
+
+
+def config_payload(config: "ExperimentConfig") -> dict:
+    """The full, explicit JSON form of a sweep config.
+
+    Unlike the store's content-key payload (which omits defaults for
+    back-compat), this round-trips *every* field, so a worker process
+    reconstructs exactly the coordinator's config — and the content key
+    it derives is asserted against the manifest's.
+    """
+    return {
+        "sizes": list(config.sizes),
+        "epsilon": config.epsilon,
+        "trials": config.trials,
+        "radius_constant": config.radius_constant,
+        "field": config.field,
+        "root_seed": config.root_seed,
+        "algorithms": list(config.algorithms),
+        "topology": config.topology,
+        "faults": config.faults,
+        "fields": config.fields,
+        "workload": config.workload,
+    }
+
+
+def config_from_payload(payload: Mapping) -> "ExperimentConfig":
+    """Inverse of :func:`config_payload` (the worker-side entry)."""
+    from repro.experiments.config import ExperimentConfig
+
+    return ExperimentConfig(
+        sizes=tuple(int(n) for n in payload["sizes"]),
+        epsilon=float(payload["epsilon"]),
+        trials=int(payload["trials"]),
+        radius_constant=float(payload["radius_constant"]),
+        field=str(payload["field"]),
+        root_seed=int(payload["root_seed"]),
+        algorithms=tuple(str(a) for a in payload["algorithms"]),
+        topology=str(payload["topology"]),
+        faults=str(payload["faults"]),
+        fields=int(payload["fields"]),
+        workload=str(payload["workload"]),
+    )
+
+
+def service_manifest(
+    config: "ExperimentConfig", check_stride: int = 1, trace: bool = False
+) -> dict:
+    """The opaque payload a sweep session pins to its queue manifest.
+
+    Carries the full config, the engine stride, the trace flag, and the
+    sweep's content key — the key is *recorded*, not re-derived, so
+    workers can assert that the service layer did not perturb it.
+    """
+    return {
+        "config": config_payload(config),
+        "check_stride": int(check_stride),
+        "trace": bool(trace),
+        "key": content_key(config, check_stride),
+    }
+
+
+def shards_root(queue_dir: "str | os.PathLike") -> Path:
+    """Where a queue session's per-worker shard stores live."""
+    return Path(queue_dir) / "shards"
+
+
+def worker_store(
+    queue_dir: "str | os.PathLike",
+    worker_id: str,
+    config: "ExperimentConfig",
+    check_stride: int = 1,
+) -> ResultStore:
+    """One worker's private shard: a full ResultStore under its own root.
+
+    Shards reuse the canonical store layout (``<key>/cells.jsonl`` plus
+    ``traces/``), so every existing tool — resume, ``repro replay``,
+    reporting — works on a shard directly, and the merger is a plain
+    record fold rather than a format conversion.
+    """
+    return ResultStore(
+        shards_root(queue_dir) / worker_id, config, check_stride
+    )
+
+
+def _parse_cells_jsonl(path: Path) -> list[CellRecord]:
+    """Records in one ``cells.jsonl``, in append order, torn tail skipped."""
+    records: list[CellRecord] = []
+    if not path.exists():
+        return records
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(CellRecord.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            continue  # truncated tail of a killed worker
+    return records
+
+
+def merge_shards(
+    store: ResultStore, shards: "str | os.PathLike"
+) -> dict[str, int]:
+    """Fold every worker shard under ``shards`` into the canonical store.
+
+    Shards are visited in sorted worker-id order and their records in
+    append order, so the merge is deterministic; first-by-cell-key wins
+    and every duplicate is byte-verified
+    (:meth:`~repro.engine.store.ResultStore.merge_records` — raises
+    :class:`~repro.engine.store.ShardDivergenceError` on divergence).
+    Trace files ride along: a cell's JSONL trace is copied into the
+    canonical ``<key>/traces/`` unless one is already there (the same
+    first-wins rule; duplicate traces of a deterministic cell are
+    identical).
+
+    Returns cumulative counts:
+    ``{"shards": ..., "appended": ..., "duplicates": ..., "traces": ...}``.
+    Missing or foreign-keyed shard directories contribute nothing — a
+    shard only merges through the content key the store itself uses.
+    """
+    store.open()
+    shards_path = Path(shards)
+    report = {"shards": 0, "appended": 0, "duplicates": 0, "traces": 0}
+    if not shards_path.is_dir():
+        return report
+    for shard_dir in sorted(p for p in shards_path.iterdir() if p.is_dir()):
+        cells_path = shard_dir / store.key / "cells.jsonl"
+        records = _parse_cells_jsonl(cells_path)
+        if not records:
+            continue
+        report["shards"] += 1
+        outcome = store.merge_records(records, source=str(cells_path))
+        report["appended"] += outcome["appended"]
+        report["duplicates"] += outcome["duplicates"]
+        trace_dir = shard_dir / store.key / "traces"
+        if trace_dir.is_dir():
+            target_dir = store.directory / "traces"
+            target_dir.mkdir(parents=True, exist_ok=True)
+            for trace in sorted(trace_dir.glob("*.jsonl")):
+                target = target_dir / trace.name
+                if not target.exists():
+                    shutil.copyfile(trace, target)
+                    report["traces"] += 1
+    return report
+
+
+def publish_partial_report(
+    config: "ExperimentConfig",
+    store: ResultStore,
+    shards: "str | os.PathLike",
+    out_path: "str | os.PathLike",
+) -> int:
+    """Render the partial sweep table from everything landed so far.
+
+    The streaming aggregator: the union of the canonical store and every
+    shard's records (first shard wins on overlap; divergence checking is
+    the *merge*'s job — publishing must never crash the coordinator) is
+    aggregated through the standard reporting path and written atomically
+    as Markdown.  Returns the number of cells the report covers.
+    """
+    from repro.experiments.report import render_partial_markdown
+
+    records: dict[CellKey, CellRecord] = dict(store.load_records())
+    shards_path = Path(shards)
+    if shards_path.is_dir():
+        for shard_dir in sorted(
+            p for p in shards_path.iterdir() if p.is_dir()
+        ):
+            for record in _parse_cells_jsonl(
+                shard_dir / store.key / "cells.jsonl"
+            ):
+                records.setdefault(record.key, record)
+    text = render_partial_markdown(config, records)
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    tmp = out.with_name(f".{out.name}.{os.getpid()}.tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, out)
+    return len(records)
+
+
+def _write_service_telemetry(queue: LeaseQueue, path: Path) -> dict:
+    """Snapshot queue health + per-worker throughput to ``path``."""
+    from repro.observability.telemetry import service_telemetry
+
+    payload = service_telemetry(queue.stats(), queue.done_log())
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    os.replace(tmp, path)
+    return payload
+
+
+def run_worker(
+    queue_dir: "str | os.PathLike",
+    worker_id: str,
+    *,
+    heartbeat_interval: float = 1.0,
+    poll_interval: float = 0.2,
+    throttle: float = 0.0,
+) -> int:
+    """The worker process loop: claim → execute → shard-append → complete.
+
+    Opens the queue at ``queue_dir``, reconstructs the sweep config from
+    the session manifest (asserting the content key survived the round
+    trip), and works cells until the queue drains.  A daemon thread
+    heartbeats the held lease every ``heartbeat_interval`` seconds while
+    the cell executes, so long cells never go stale under a live worker;
+    SIGKILL stops the heartbeats with the process, which is exactly the
+    signal reclamation keys on.  When nothing is claimable but cells are
+    still leased elsewhere, the worker naps ``poll_interval`` and retries.
+
+    ``throttle`` sleeps that many seconds inside each leased window
+    before executing — a chaos/testing knob that widens the
+    kill-mid-cell window (it simulates slow hardware; the numbers are
+    unaffected).  If a cell raises, the lease is released (the cell
+    becomes claimable immediately) and the exception propagates — the
+    worker exits nonzero and the coordinator's respawn cap bounds the
+    retries a deterministically failing cell can consume.
+
+    Returns the number of cells this worker completed.
+    """
+    queue = LeaseQueue.open(queue_dir)
+    payload = queue.manifest()["payload"]
+    config = config_from_payload(payload["config"])
+    check_stride = int(payload.get("check_stride", 1))
+    trace = bool(payload.get("trace", False))
+    shard = worker_store(queue_dir, worker_id, config, check_stride).open()
+    expected_key = payload.get("key")
+    if expected_key is not None and shard.key != expected_key:
+        raise ValueError(
+            f"worker {worker_id} derived content key {shard.key} but the "
+            f"session manifest pins {expected_key}; the config payload "
+            "did not round-trip — refusing to mix stores"
+        )
+    trace_dir = shard.directory / "traces" if trace else None
+    completed = 0
+    while True:
+        lease = queue.claim(worker_id)
+        if lease is None:
+            if queue.drained():
+                return completed
+            time.sleep(poll_interval)
+            continue
+        stop = threading.Event()
+
+        def _beat(lease=lease):
+            while not stop.wait(heartbeat_interval):
+                try:
+                    queue.heartbeat(lease)
+                except LeaseLost:
+                    return  # presumed dead and reclaimed; stop beating
+
+        beater = threading.Thread(target=_beat, daemon=True)
+        beater.start()
+        try:
+            if throttle > 0:
+                time.sleep(throttle)
+            record = execute_cell(config, lease.cell, check_stride, trace_dir)
+        except BaseException:
+            stop.set()
+            beater.join()
+            queue.release(lease)
+            raise
+        stop.set()
+        beater.join()
+        # Append before marking done: a crash between the two leaves a
+        # stale lease (re-executed, deduplicated at merge), never a done
+        # marker without a record.
+        shard.append(record)
+        queue.complete(lease)
+        completed += 1
+
+
+def _spawn_worker(
+    queue_dir: Path,
+    worker_id: str,
+    heartbeat_interval: float,
+    poll_interval: float,
+    throttle: float,
+) -> subprocess.Popen:
+    """Launch one ``repro work`` subprocess against ``queue_dir``."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_dir not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_dir + (os.pathsep + existing if existing else "")
+        )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "work",
+            "--queue-dir",
+            str(queue_dir),
+            "--worker-id",
+            worker_id,
+            "--heartbeat-interval",
+            str(heartbeat_interval),
+            "--poll-interval",
+            str(poll_interval),
+            "--throttle",
+            str(throttle),
+        ],
+        env=env,
+    )
+
+
+def run_distributed_sweep(
+    config: "ExperimentConfig",
+    *,
+    store: ResultStore,
+    queue_dir: "str | os.PathLike",
+    workers: int = 2,
+    check_stride: int = 1,
+    ttl: float = 10.0,
+    heartbeat_interval: float = 1.0,
+    poll_interval: float = 0.2,
+    worker_throttle: float = 0.0,
+    trace: bool = False,
+    chaos_kill_after: "float | None" = None,
+    max_respawns: "int | None" = None,
+    on_progress: "Callable[[QueueStats], None] | None" = None,
+) -> dict[CellKey, CellRecord]:
+    """Coordinate one distributed sweep session; returns the merged records.
+
+    The coordinator: merges any shards a previous (crashed) session left
+    under ``queue_dir`` into ``store``, enqueues exactly the cells the
+    store is still missing, spawns ``workers`` worker processes, watches
+    the queue (publishing ``<queue>/partial_report.md`` and
+    ``<queue>/telemetry.json`` as cells land), respawns workers when the
+    whole fleet has died with work remaining (at most ``max_respawns``
+    times, default ``workers``), and finally merges the shards into the
+    canonical store.  Store layout, content keys, and resume semantics
+    are identical to a plain ``run_sweep_records`` sweep, so serial,
+    parallel, and distributed sessions resume each other freely.
+
+    ``chaos_kill_after`` SIGKILLs one live worker that many seconds into
+    the session — the built-in chaos-engineering knob the CI smoke job
+    uses to prove lease reclamation keeps the sweep lossless.
+
+    Raises :class:`RuntimeError` when the respawn budget is exhausted
+    with cells unfinished (the deterministic-failure escape hatch), and
+    :class:`~repro.engine.store.ShardDivergenceError` if any shard
+    disagrees with the canonical store byte-for-byte.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if store.check_stride != check_stride:
+        raise ValueError(
+            f"store was keyed for check_stride={store.check_stride} but the "
+            f"service is running with check_stride={check_stride}; mixing "
+            "strides in one store would blend non-identical numbers"
+        )
+    store.open()
+    queue_root = Path(queue_dir)
+    shards = shards_root(queue_root)
+    merge_shards(store, shards)  # a crashed session's completed work
+    grid = expand_grid(config)
+    held = store.load_records()
+    pending = [cell for cell in grid if cell.key not in held]
+    telemetry_path = queue_root / "telemetry.json"
+    report_path = queue_root / "partial_report.md"
+    if not pending:
+        return {
+            cell.key: held[cell.key] for cell in grid if cell.key in held
+        }
+    queue = LeaseQueue.create(
+        queue_root,
+        pending,
+        ttl=ttl,
+        payload=service_manifest(config, check_stride, trace),
+    )
+    budget = workers if max_respawns is None else max_respawns
+    fleet: list[tuple[str, subprocess.Popen]] = []
+    try:
+        fleet = [
+            (
+                f"w{index}",
+                _spawn_worker(
+                    queue_root,
+                    f"w{index}",
+                    heartbeat_interval,
+                    poll_interval,
+                    worker_throttle,
+                ),
+            )
+            for index in range(workers)
+        ]
+        started = time.time()
+        chaos_done = chaos_kill_after is None
+        respawns = 0
+        last_done = -1
+        while not queue.drained():
+            time.sleep(poll_interval)
+            if not chaos_done and time.time() - started >= chaos_kill_after:
+                # Kill a worker that provably holds a live lease, so the
+                # injected death always exercises reclamation (a victim
+                # still importing NumPy would die without leaving work
+                # behind).  Retried every poll until a lease-holder
+                # exists; a sweep that drains first simply escapes.
+                holders = queue.lease_owners()
+                for worker_id, proc in fleet:
+                    if worker_id in holders and proc.poll() is None:
+                        proc.kill()  # SIGKILL: no cleanup, beats stop
+                        chaos_done = True
+                        break
+            stats = queue.stats()
+            if stats.done != last_done:
+                last_done = stats.done
+                publish_partial_report(config, store, shards, report_path)
+                _write_service_telemetry(queue, telemetry_path)
+                if on_progress is not None:
+                    on_progress(stats)
+            if all(proc.poll() is not None for _, proc in fleet):
+                if respawns >= budget:
+                    raise RuntimeError(
+                        f"every worker exited with "
+                        f"{stats.total - stats.done} cells unfinished and "
+                        f"the respawn budget ({budget}) is spent — a cell "
+                        "is failing deterministically; inspect the worker "
+                        "output and the queue at "
+                        f"{queue_root}"
+                    )
+                respawns += 1
+                replacement = f"w{workers - 1}r{respawns}"
+                fleet.append(
+                    (
+                        replacement,
+                        _spawn_worker(
+                            queue_root,
+                            replacement,
+                            heartbeat_interval,
+                            poll_interval,
+                            worker_throttle,
+                        ),
+                    )
+                )
+        for _, proc in fleet:  # drained: workers exit on their own poll
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    proc.terminate()
+                    proc.wait(timeout=10)
+    finally:
+        for _, proc in fleet:
+            if proc.poll() is None:
+                proc.kill()
+    merge_shards(store, shards)
+    publish_partial_report(config, store, shards, report_path)
+    _write_service_telemetry(queue, telemetry_path)
+    return {
+        key: record
+        for key, record in store.load_records().items()
+        if key in {cell.key for cell in grid}
+    }
+
+
+def _store_cells(root: Path) -> dict[str, dict[CellKey, CellRecord]]:
+    """Every ``<content key>/cells.jsonl`` under a store root, parsed
+    with the store's own semantics (later duplicate lines win)."""
+    out: dict[str, dict[CellKey, CellRecord]] = {}
+    for cells_path in sorted(root.glob("*/cells.jsonl")):
+        records: dict[CellKey, CellRecord] = {}
+        for record in _parse_cells_jsonl(cells_path):
+            records[record.key] = record
+        out[cells_path.parent.name] = records
+    return out
+
+
+def diff_stores(
+    left: "str | os.PathLike", right: "str | os.PathLike"
+) -> list[str]:
+    """Canonical differences between two store roots (empty = identical).
+
+    The bit-identity assertion behind ``repro store-diff``: both roots
+    must hold the same content-key directories, the same cell keys per
+    directory, and byte-identical canonical records per cell
+    (:func:`~repro.engine.store.canonical_record_bytes` — timing and
+    telemetry excluded, exactly as record equality excludes them).
+    Returns human-readable difference lines, most structural first.
+    """
+    a, b = _store_cells(Path(left)), _store_cells(Path(right))
+    differences: list[str] = []
+    for key in sorted(set(a) - set(b)):
+        differences.append(f"content key {key} only in {left}")
+    for key in sorted(set(b) - set(a)):
+        differences.append(f"content key {key} only in {right}")
+    for key in sorted(set(a) & set(b)):
+        cells_a, cells_b = a[key], b[key]
+        for cell in sorted(set(cells_a) - set(cells_b)):
+            differences.append(f"{key}: cell {cell} only in {left}")
+        for cell in sorted(set(cells_b) - set(cells_a)):
+            differences.append(f"{key}: cell {cell} only in {right}")
+        for cell in sorted(set(cells_a) & set(cells_b)):
+            bytes_a = canonical_record_bytes(cells_a[cell])
+            bytes_b = canonical_record_bytes(cells_b[cell])
+            if bytes_a != bytes_b:
+                differences.append(
+                    f"{key}: cell {cell} diverges\n"
+                    f"  {left}: {bytes_a.decode('utf-8')}\n"
+                    f"  {right}: {bytes_b.decode('utf-8')}"
+                )
+    return differences

@@ -38,18 +38,55 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 from repro.engine.executor import CellKey, CellRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a layer cycle
     from repro.experiments.config import ExperimentConfig
 
-__all__ = ["ResultStore", "content_key"]
+__all__ = [
+    "ResultStore",
+    "ShardDivergenceError",
+    "canonical_record_bytes",
+    "content_key",
+]
 
 #: Bump when the record schema changes; part of the content key so old
 #: stores are never misread as new ones.
 STORE_FORMAT = 1
+
+
+class ShardDivergenceError(ValueError):
+    """Two records claim the same cell but disagree on the numbers.
+
+    Raised by :meth:`ResultStore.merge_records` when a record arriving
+    from a shard matches an already-held cell key but its canonical
+    payload bytes (:func:`canonical_record_bytes`) differ.  Cells are
+    deterministic functions of their seeds, so duplicate completions —
+    a reclaimed-but-alive worker finishing a cell someone else redid —
+    must be byte-identical; a mismatch means corruption (a tampered or
+    bit-rotted ``cells.jsonl``) or engine nondeterminism, and silently
+    picking either copy would poison the sweep.  Nothing is appended
+    for the offending record; the store is left as it was.
+    """
+
+
+def canonical_record_bytes(record: CellRecord) -> bytes:
+    """The bytes that define a record's identity for merge/diff purposes.
+
+    Canonical JSON (sorted keys, no whitespace) of the record's
+    *comparable* payload: ``wall_clock`` and ``telemetry`` are stripped,
+    exactly mirroring their exclusion from :class:`CellRecord` equality —
+    two executions of one deterministic cell are the same result no
+    matter how long the machine took.
+    """
+    payload = record.to_dict()
+    payload.pop("wall_clock", None)
+    payload.pop("telemetry", None)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
 
 
 def _config_payload(config: ExperimentConfig, check_stride: int) -> dict:
@@ -251,6 +288,49 @@ class ResultStore:
         with open(self.records_path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
             handle.flush()
+
+    def merge_records(
+        self,
+        records: "Iterable[CellRecord]",
+        source: str = "merge",
+    ) -> dict[str, int]:
+        """Fold ``records`` into this store, first-by-cell-key wins.
+
+        The distributed merge primitive: records whose cell key is new
+        are appended (in the order given — deterministic when callers
+        iterate shards in sorted order); records whose key is already
+        held are *verified*, not blindly skipped — their canonical
+        payload bytes (:func:`canonical_record_bytes`) must equal the
+        held record's, or :class:`ShardDivergenceError` is raised naming
+        the cell and ``source``.  Timing/telemetry differences never
+        trigger it (they are excluded from the canonical bytes).
+
+        Returns ``{"appended": ..., "duplicates": ...}``.
+        """
+        held = self.load_records()
+        appended = duplicates = 0
+        for record in records:
+            existing = held.get(record.key)
+            if existing is None:
+                self.append(record)
+                held[record.key] = record
+                appended += 1
+                continue
+            if canonical_record_bytes(existing) != canonical_record_bytes(
+                record
+            ):
+                raise ShardDivergenceError(
+                    f"cell {record.key} from {source} diverges from the "
+                    f"record already held by {self.directory}: the cell "
+                    "is a deterministic function of its seeds, so this "
+                    "is corruption or nondeterminism, not a benign "
+                    f"duplicate\n  held:     "
+                    f"{canonical_record_bytes(existing).decode('utf-8')}\n"
+                    f"  incoming: "
+                    f"{canonical_record_bytes(record).decode('utf-8')}"
+                )
+            duplicates += 1
+        return {"appended": appended, "duplicates": duplicates}
 
     def load_records(self) -> dict[CellKey, CellRecord]:
         """All parseable cells; later duplicates win, corrupt lines skipped."""

@@ -29,6 +29,7 @@ __all__ = [
     "sweep_from_dict",
     "sweep_from_store",
     "render_markdown",
+    "render_partial_markdown",
     "save_json",
 ]
 
@@ -148,6 +149,23 @@ def render_markdown(
         lines.append("")
         lines.extend(timing)
     return "\n".join(lines)
+
+
+def render_partial_markdown(config: ExperimentConfig, records: Mapping) -> str:
+    """Markdown for an in-flight sweep: progress line, then the usual table.
+
+    ``records`` maps cell keys to
+    :class:`~repro.engine.executor.CellRecord` objects — whatever subset
+    of the grid has landed so far.  The sweep service republishes this
+    after every batch of completions, so readers can watch a distributed
+    sweep converge; once every cell has landed the body matches
+    :func:`render_markdown` over the full sweep (sizes with no finished
+    cells render as ``—``).
+    """
+    total = len(config.algorithms) * len(config.sizes) * config.trials
+    sweep = aggregate_records(config, records)
+    header = f"*Partial sweep: {len(records)}/{total} cells complete.*"
+    return header + "\n\n" + render_markdown(config, sweep)
 
 
 def _render_timing_table(

@@ -17,7 +17,7 @@ imports): this module is a leaf the engine layers can import freely.
 
 from __future__ import annotations
 
-__all__ = ["cache_stats", "collect_telemetry"]
+__all__ = ["cache_stats", "collect_telemetry", "service_telemetry"]
 
 
 def cache_stats(algorithm) -> "dict[str, float] | None":
@@ -88,3 +88,48 @@ def collect_telemetry(
     if trial_batch:
         telemetry["trial_batch"] = 1.0
     return telemetry
+
+
+def service_telemetry(stats, done_log) -> dict:
+    """A distributed-sweep snapshot: queue depth plus per-worker throughput.
+
+    ``stats`` duck-types :class:`~repro.engine.queue.QueueStats`
+    (``total``/``pending``/``leased``/``done``/``reclamations``);
+    ``done_log`` is the queue's list of completion markers, each a
+    mapping with ``owner``, ``claimed_at``, and ``completed_at``.  Busy
+    time is the claim-to-completion span, so a worker's
+    ``cells_per_sec`` reflects execution only — idle polling between
+    leases never counts.
+
+    >>> class S:
+    ...     total, pending, leased, done, reclamations = 4, 1, 1, 2, 1
+    >>> log = [
+    ...     {"owner": "w0", "claimed_at": 0.0, "completed_at": 2.0},
+    ...     {"owner": "w0", "claimed_at": 3.0, "completed_at": 5.0},
+    ... ]
+    >>> service_telemetry(S(), log)["workers"]["w0"]
+    {'cells': 2, 'busy_seconds': 4.0, 'cells_per_sec': 0.5}
+    """
+    workers: dict = {}
+    for entry in done_log:
+        owner = str(entry["owner"])
+        busy = float(entry["completed_at"]) - float(entry["claimed_at"])
+        slot = workers.setdefault(owner, {"cells": 0, "busy_seconds": 0.0})
+        slot["cells"] += 1
+        slot["busy_seconds"] += max(busy, 0.0)
+    for slot in workers.values():
+        slot["cells_per_sec"] = (
+            slot["cells"] / slot["busy_seconds"]
+            if slot["busy_seconds"] > 0
+            else 0.0
+        )
+    return {
+        "queue": {
+            "total": int(stats.total),
+            "pending": int(stats.pending),
+            "leased": int(stats.leased),
+            "done": int(stats.done),
+            "reclamations": int(stats.reclamations),
+        },
+        "workers": workers,
+    }

@@ -391,3 +391,112 @@ class TestTrialBatch:
         # Per-cell resume of a trial-batch store: every cell reused.
         assert main([*flags, "--resume"]) == 0
         assert "resuming past 2 finished cells" in capsys.readouterr().out
+
+
+class TestSweepService:
+    def test_serve_sweep_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["serve-sweep", "--store-dir", "results"]
+        )
+        assert args.workers == 2
+        assert args.queue_dir is None
+        assert args.ttl == 10.0
+        assert args.heartbeat_interval == 1.0
+        assert args.worker_throttle == 0.0
+        assert args.chaos_kill_after is None
+        assert args.max_respawns is None
+        assert args.resume is False and args.trace is False
+        # The grid flags are the sweep's own, verbatim.
+        assert args.sizes == "128,256,512"
+        assert args.check_stride == 1
+
+    def test_serve_sweep_requires_store_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-sweep"])
+
+    def test_work_parser(self):
+        args = build_parser().parse_args(
+            ["work", "--queue-dir", "q", "--worker-id", "w7",
+             "--throttle", "0.5"]
+        )
+        assert args.queue_dir == "q"
+        assert args.worker_id == "w7"
+        assert args.throttle == 0.5
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["work"])  # --queue-dir is required
+
+    def test_work_on_missing_queue_is_a_usage_error(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["work", "--queue-dir", str(tmp_path / "nowhere")])
+        assert excinfo.value.code == 2
+        assert "no queue manifest" in capsys.readouterr().err
+
+    def test_store_diff_on_missing_root_is_a_usage_error(
+        self, capsys, tmp_path
+    ):
+        (tmp_path / "a").mkdir()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store-diff", str(tmp_path / "a"), str(tmp_path / "b")])
+        assert excinfo.value.code == 2
+        assert "not a store root" in capsys.readouterr().err
+
+    def test_serve_sweep_matches_sweep_end_to_end(self, capsys, tmp_path):
+        """The acceptance criterion as a CLI round-trip: a distributed
+        session with an injected worker kill produces a store that
+        'store-diff' certifies identical to the serial sweep's."""
+        grid = [
+            "--sizes", "32,48",
+            "--epsilon", "0.3",
+            "--trials", "1",
+            "--algorithms", "randomized,geographic",
+        ]
+        assert main(
+            [
+                "serve-sweep", *grid,
+                "--store-dir", str(tmp_path / "dist"),
+                "--workers", "2",
+                "--ttl", "2",
+                "--heartbeat-interval", "0.2",
+                "--poll-interval", "0.05",
+                "--worker-throttle", "0.3",
+                "--chaos-kill-after", "0",
+            ]
+        ) == 0
+        served = capsys.readouterr().out
+        assert "queue:" in served and "cells done" in served
+        assert main(
+            ["sweep", *grid, "--store-dir", str(tmp_path / "serial")]
+        ) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["store-diff", str(tmp_path / "dist"), str(tmp_path / "serial")]
+        ) == 0
+        assert "stores identical" in capsys.readouterr().out
+        # And the two commands printed the same sweep table.
+        marker = "mean transmissions"
+        assert served.split(marker)[1].split("\n\n")[0] == (
+            serial.split(marker)[1].split("\n\n")[0]
+        )
+
+    def test_store_diff_flags_divergence(self, capsys, tmp_path):
+        import json
+
+        flags = [
+            "sweep",
+            "--sizes", "32",
+            "--epsilon", "0.3",
+            "--trials", "1",
+            "--algorithms", "randomized",
+        ]
+        assert main([*flags, "--store-dir", str(tmp_path / "a")]) == 0
+        assert main([*flags, "--store-dir", str(tmp_path / "b")]) == 0
+        capsys.readouterr()
+        (cells,) = (tmp_path / "b").glob("*/cells.jsonl")
+        record = json.loads(cells.read_text().splitlines()[0])
+        record["ticks"] += 1
+        cells.write_text(json.dumps(record) + "\n")
+        assert main(
+            ["store-diff", str(tmp_path / "a"), str(tmp_path / "b")]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "diverges" in out and "1 difference(s)" in out

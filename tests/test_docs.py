@@ -76,6 +76,26 @@ class TestApiReference:
         assert "primary_field" in metrics
         assert "column_errors" in metrics
 
+    def test_sweep_service_symbols_rendered(self, generated):
+        """repro.engine is strict, so the queue/service modules ride the
+        same docstring bar as the rest of the engine."""
+        out, _ = generated
+        engine = (out / "repro-engine.md").read_text(encoding="utf-8")
+        assert "repro.engine.queue" in engine
+        assert "repro.engine.service" in engine
+        assert "LeaseQueue" in engine
+        assert "run_distributed_sweep" in engine
+        assert "ShardDivergenceError" in engine
+        assert "canonical_record_bytes" in engine
+        observability = (out / "repro-observability.md").read_text(
+            encoding="utf-8"
+        )
+        assert "service_telemetry" in observability
+        experiments = (out / "repro-experiments.md").read_text(
+            encoding="utf-8"
+        )
+        assert "render_partial_markdown" in experiments
+
     def test_classmethods_and_properties_rendered(self, generated):
         """vars() yields raw descriptors; the generator must not drop them."""
         out, _ = generated
@@ -123,3 +143,21 @@ class TestDocsSite:
         page = (DOCS / "matrix.md").read_text(encoding="utf-8")
         for name in list(ALGORITHMS) + list(TOPOLOGIES):
             assert f"`{name}`" in page, f"matrix page missing {name!r}"
+
+    def test_sweep_service_page_backs_the_code_references(self):
+        """queue.py/service.py docstrings point here for the full lease
+        lifecycle and failure matrix; keep the page load-bearing."""
+        page = (DOCS / "sweep_service.md").read_text(encoding="utf-8")
+        for anchor in (
+            "Lease lifecycle",
+            "heartbeat",
+            "reclaim",
+            "Shard-merge semantics",
+            "ShardDivergenceError",
+            "Failure matrix",
+            "serve-sweep",
+            "store-diff",
+        ):
+            assert anchor in page, f"sweep_service.md missing {anchor!r}"
+        matrix = (DOCS / "matrix.md").read_text(encoding="utf-8")
+        assert "sweep_service.md" in matrix  # the service column's footnote

@@ -123,3 +123,75 @@ class TestAggregation:
         )
         assert len(seen) == len(expand_grid(config))
         assert all(fresh for _, fresh in seen)
+
+
+class TestResumeAcrossModes:
+    """One store, four custodians: serial → killed distributed →
+    resumed distributed → serial.  Execution mode is never part of a
+    sweep's identity, so every hand-off resumes instead of recomputing
+    and the final records equal an uninterrupted serial run."""
+
+    def test_round_trip_serial_distributed_serial(self, tmp_path, config):
+        from repro.engine.service import (
+            run_distributed_sweep,
+            worker_store,
+        )
+        from repro.engine.store import ResultStore
+
+        reference = run_sweep_records(config)
+        grid = expand_grid(config)
+        store = ResultStore(tmp_path / "store", config).open()
+
+        # Stage 1 — an interrupted *serial* run: two cells made it.
+        for cell in grid[:2]:
+            store.append(reference[cell.key])
+
+        # Stage 2 — a *killed* distributed session: its coordinator died
+        # after one worker shard landed two more cells, before any merge.
+        queue_dir = tmp_path / "queue"
+        shard = worker_store(queue_dir, "w0", config).open()
+        for cell in grid[2:4]:
+            shard.append(reference[cell.key])
+
+        # Stage 3 — the resumed distributed session: recovers the
+        # orphaned shard, enqueues only the genuinely missing cells,
+        # and finishes the sweep with real worker processes.
+        records = run_distributed_sweep(
+            config,
+            store=ResultStore(tmp_path / "store", config),
+            queue_dir=queue_dir,
+            workers=2,
+            ttl=5.0,
+            heartbeat_interval=0.1,
+            poll_interval=0.05,
+        )
+        assert records == reference
+        from repro.engine.queue import LeaseQueue
+
+        session = LeaseQueue.open(queue_dir)
+        assert session.stats().total == len(grid) - 4  # resumed, not redone
+
+        # Stage 4 — back to serial: every cell reused, none recomputed.
+        fresh = []
+        final = run_sweep_records(
+            config,
+            store=ResultStore(tmp_path / "store", config),
+            on_record=lambda record, is_fresh: fresh.append(is_fresh),
+        )
+        assert final == reference
+        assert fresh == [False] * len(grid)
+
+    def test_service_layer_leaves_the_pinned_key_unchanged(self, tmp_path):
+        """The k=1 default content key, frozen since the multi-field PR:
+        the service layer must neither perturb the key a shard derives
+        nor the one it pins in the session manifest."""
+        from repro.engine.service import service_manifest, worker_store
+        from repro.engine.store import content_key
+
+        pinned = "379068f1d8668c31"
+        default = ExperimentConfig()
+        assert content_key(default) == pinned
+        assert service_manifest(default)["key"] == pinned
+        shard = worker_store(tmp_path, "w0", default)
+        assert shard.key == pinned
+        assert shard.directory == tmp_path / "shards" / "w0" / pinned

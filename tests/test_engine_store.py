@@ -4,8 +4,15 @@ import json
 
 import pytest
 
+import dataclasses
+
 from repro.engine.executor import CellRecord, expand_grid, run_sweep_records
-from repro.engine.store import ResultStore, content_key
+from repro.engine.store import (
+    ResultStore,
+    ShardDivergenceError,
+    canonical_record_bytes,
+    content_key,
+)
 from repro.experiments import ExperimentConfig
 from repro.experiments.report import sweep_from_store
 
@@ -327,6 +334,68 @@ class TestReportIntegration:
         run_sweep_records(config, store=store)
         complete = sweep_from_store(store)
         assert [p.trials for p in complete["randomized"]] == [config.trials]
+
+
+class TestMergeRecords:
+    """The distributed-merge primitive: first wins, duplicates verified.
+
+    The divergence check is the sweep service's corruption and
+    nondeterminism detector — cells are deterministic functions of their
+    seeds, so a same-key record with different payload bytes is never a
+    benign duplicate.
+    """
+
+    def test_appends_new_and_counts_identical_duplicates(
+        self, tmp_path, config
+    ):
+        store = ResultStore(tmp_path, config).open()
+        first = _fake_record(config, trial=0)
+        second = _fake_record(config, trial=1)
+        outcome = store.merge_records([first, second, first])
+        assert outcome == {"appended": 2, "duplicates": 1}
+        assert store.load_records()[first.key] == first
+
+    def test_tampered_payload_raises_named_error(self, tmp_path, config):
+        """A 1e-12 nudge on one float — the subtlest corruption a shard
+        can carry — must be caught and must name the cell and source."""
+        store = ResultStore(tmp_path, config).open()
+        record = _fake_record(config)
+        store.merge_records([record])
+        tampered = dataclasses.replace(record, error=record.error + 1e-12)
+        with pytest.raises(ShardDivergenceError, match="randomized"):
+            store.merge_records([tampered], source="shard w1")
+        with pytest.raises(ShardDivergenceError, match="shard w1"):
+            store.merge_records([tampered], source="shard w1")
+        # Nothing was appended for the offending record.
+        assert len(store.load_records()) == 1
+
+    def test_divergent_transmissions_raise(self, tmp_path, config):
+        store = ResultStore(tmp_path, config).open()
+        store.merge_records([_fake_record(config, total=100)])
+        with pytest.raises(ShardDivergenceError):
+            store.merge_records([_fake_record(config, total=101)])
+
+    def test_timing_and_telemetry_do_not_diverge(self, tmp_path, config):
+        """wall_clock/telemetry are machine noise, excluded from record
+        equality — a duplicate differing only there merges cleanly."""
+        store = ResultStore(tmp_path, config).open()
+        record = _fake_record(config)
+        store.merge_records([record])
+        slower = dataclasses.replace(
+            record, wall_clock=123.0, telemetry={"ticks_per_sec": 1.0}
+        )
+        outcome = store.merge_records([slower])
+        assert outcome == {"appended": 0, "duplicates": 1}
+
+    def test_canonical_bytes_strip_timing_and_telemetry(self, config):
+        record = _fake_record(config)
+        noisy = dataclasses.replace(
+            record, wall_clock=9.0, telemetry={"cache_hits": 4.0}
+        )
+        assert canonical_record_bytes(record) == canonical_record_bytes(noisy)
+        payload = json.loads(canonical_record_bytes(noisy))
+        assert "wall_clock" not in payload and "telemetry" not in payload
+        assert payload["algorithm"] == "randomized"
 
 
 class TestTrialBatchStoreCompat:
