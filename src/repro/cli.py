@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands cover the common workflows without writing any code:
+Nine commands cover the common workflows without writing any code:
 
 * ``run``         — one algorithm, one field, one graph; prints the
   outcome and an ASCII view of the field before/after.
@@ -16,9 +16,14 @@ Eight commands cover the common workflows without writing any code:
 * ``inspect``     — build and display the hierarchy for a placement.
 * ``trace``       — one run under the structured event recorder; writes
   the JSONL trace and draws its convergence/fault timeline.
+* ``profile``     — one run under the span profiler and metrics
+  registry (:mod:`repro.observability`); prints the per-phase hotpath
+  table and the counters the run moved — numbers identical to ``run``
+  at the same flags.
 * ``replay``      — re-derive a trace's numbers from its events alone
   (:mod:`repro.observability.replay`) and check them against the stored
-  cell records when the trace lives under a sweep store.
+  cell records when the trace lives under a sweep store; ``--workers``
+  fans the traces across processes (identical output and summary).
 * ``store-diff``  — compare two result-store roots record by record
   (canonical bytes, timing/telemetry excluded); exits 1 on any
   difference.  The distributed ≡ serial assertion as a shell command.
@@ -46,7 +51,8 @@ Examples::
     python -m repro sweep --sizes 128,256 --store-dir results --trace
     python -m repro replay results
     python -m repro serve-sweep --sizes 128,256 --workers 3 \
-        --store-dir results --resume
+        --store-dir results --resume --metrics-port 9100
+    python -m repro profile --algorithm geographic --n 512
     python -m repro store-diff results other-results
 """
 
@@ -358,6 +364,14 @@ def build_parser() -> argparse.ArgumentParser:
         "stores; merged into <store>/<key>/traces/ "
         "(validate with 'repro replay')",
     )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve live GET /metrics (Prometheus text exposition) and "
+        "GET /healthz from the coordinator on this loopback port while "
+        "the sweep runs (0 = pick an ephemeral port; printed at startup)",
+    )
 
     work = sub.add_parser(
         "work",
@@ -428,6 +442,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_multifield_flags(trace)
     _add_fault_flags(trace)
 
+    profile = sub.add_parser(
+        "profile",
+        help="run one algorithm under the span profiler + metrics "
+        "registry and print the per-phase hotpath table (numbers "
+        "identical to 'run' at the same flags)",
+    )
+    profile.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="geographic",
+    )
+    profile.add_argument("--n", type=int, default=512)
+    profile.add_argument("--epsilon", type=float, default=0.2)
+    profile.add_argument(
+        "--topology",
+        choices=topology_names(),
+        default="rgg",
+        help="graph family from the topology zoo (default: flat RGG)",
+    )
+    profile.add_argument(
+        "--field", choices=sorted(FIELD_GENERATORS), default="random"
+    )
+    profile.add_argument("--seed", type=int, default=20070801)
+    profile.add_argument(
+        "--check-stride",
+        type=_positive_int,
+        default=4,
+        help="engine error-check stride (default 4: stride 1 delegates "
+        "to the uninstrumented legacy loop, which records no engine "
+        "spans)",
+    )
+    _add_multifield_flags(profile)
+    _add_fault_flags(profile)
+
     replay = sub.add_parser(
         "replay",
         help="re-derive a trace's numbers from its events and cross-check "
@@ -438,6 +486,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="a .jsonl trace file, a directory of traces, or a sweep "
         "store root (every **/traces/*.jsonl is validated against its "
         "stored cell record)",
+    )
+    replay.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="replay traces across this many processes (output lines "
+        "stay in input order; the summary is identical at any count)",
     )
 
     diff = sub.add_parser(
@@ -578,6 +633,49 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0 if result.converged else 1
 
 
+def _command_profile(args: argparse.Namespace) -> int:
+    from repro.observability import metrics, profile
+
+    with metrics.expose() as registry, profile.capture() as profiler:
+        # Built inside the exposed scope so construction-time collectors
+        # (the route cache's) register; building consumes the same RNG
+        # either way, so the numbers still match a plain 'run'.
+        with profile.span("build"):
+            graph, values, spec, algorithm = _build_run_instance(args)
+        with profile.span("run"):
+            result = run_batched(
+                algorithm,
+                values,
+                args.epsilon,
+                spawn_rng(args.seed, "cli-run", args.algorithm),
+                check_stride=args.check_stride,
+            )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["algorithm", args.algorithm],
+                ["topology", args.topology],
+                ["n", args.n],
+                ["converged", result.converged],
+                ["final error", result.error],
+                ["transmissions", result.total_transmissions],
+                ["ticks", result.ticks],
+            ],
+            title=f"profiled run to ε={args.epsilon}",
+        )
+    )
+    print("\nhotpath table (wall clock by span):")
+    print(profiler.render_table())
+    counters = registry.counter_totals()
+    if counters:
+        width = max(len(series) for series in counters)
+        print("\ncounters:")
+        for series, value in sorted(counters.items()):
+            print(f"  {series.ljust(width)}  {value:g}")
+    return 0 if result.converged else 1
+
+
 def _trace_files(target: Path) -> list[Path]:
     """The trace files a ``repro replay`` target names.
 
@@ -626,6 +724,31 @@ def _trace_cell_record(trace: Path, start: dict) -> "CellRecord | None":
     return None
 
 
+def _replay_one(trace_path: str) -> "tuple[bool, str]":
+    """Replay one trace file; returns ``(ok, report line)``.
+
+    Module-level and picklable, so ``repro replay --workers N`` can fan
+    traces across a process pool; each trace's validation is
+    self-contained, which is what makes the fan-out safe.
+    """
+    trace = Path(trace_path)
+    try:
+        trace_events = events.load_trace(trace)
+        replay = replay_events(trace_events)
+        start = trace_events[0] if trace_events else {}
+        record = _trace_cell_record(trace, start)
+        if record is not None:
+            validate_record(replay, record)
+    except (ReplayError, ValueError) as error:
+        return False, f"FAIL {trace}: {error}"
+    against = "trace + cell record" if record is not None else "trace"
+    return True, (
+        f"ok   {trace}: {replay.algorithm} n={replay.n} "
+        f"k={replay.fields} — {replay.transmissions['total']} tx, "
+        f"{replay.checks} checks replayed bitwise ({against})"
+    )
+
+
 def _command_replay(args: argparse.Namespace) -> int:
     target = Path(args.path)
     traces = _trace_files(target)
@@ -634,25 +757,28 @@ def _command_replay(args: argparse.Namespace) -> int:
             f"{target}: no trace found (expected a .jsonl file, a traces "
             "directory, or a sweep store root)"
         )
+    paths = [str(trace) for trace in traces]
+    workers = min(args.workers, len(paths))
+    pool = None
+    if workers > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=workers)
+        outcomes = pool.map(_replay_one, paths)
+    else:
+        outcomes = map(_replay_one, paths)
     failures = 0
-    for trace in traces:
-        try:
-            trace_events = events.load_trace(trace)
-            replay = replay_events(trace_events)
-            start = trace_events[0] if trace_events else {}
-            record = _trace_cell_record(trace, start)
-            if record is not None:
-                validate_record(replay, record)
-        except (ReplayError, ValueError) as error:
-            failures += 1
-            print(f"FAIL {trace}: {error}")
-            continue
-        against = "trace + cell record" if record is not None else "trace"
-        print(
-            f"ok   {trace}: {replay.algorithm} n={replay.n} "
-            f"k={replay.fields} — {replay.transmissions['total']} tx, "
-            f"{replay.checks} checks replayed bitwise ({against})"
-        )
+    try:
+        # ``map`` yields in input order for both paths, so the report —
+        # and the summary line below — is byte-identical at any worker
+        # count.
+        for ok, line in outcomes:
+            if not ok:
+                failures += 1
+            print(line, flush=True)
+    finally:
+        if pool is not None:
+            pool.shutdown()
     print(
         f"\n{len(traces) - failures}/{len(traces)} traces replayed "
         "and validated" + (f", {failures} FAILED" if failures else "")
@@ -820,6 +946,9 @@ def _command_serve_sweep(args: argparse.Namespace) -> int:
             flush=True,
         )
 
+    def _metrics_url(url: str) -> None:
+        print(f"metrics: {url}/metrics  (health: {url}/healthz)", flush=True)
+
     try:
         run_distributed_sweep(
             config,
@@ -835,6 +964,8 @@ def _command_serve_sweep(args: argparse.Namespace) -> int:
             chaos_kill_after=args.chaos_kill_after,
             max_respawns=args.max_respawns,
             on_progress=_progress,
+            metrics_port=args.metrics_port,
+            on_metrics_url=_metrics_url,
         )
     except RuntimeError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -929,6 +1060,7 @@ def main(argv: list[str] | None = None) -> int:
         "work": _command_work,
         "inspect": _command_inspect,
         "trace": _command_trace,
+        "profile": _command_profile,
         "replay": _command_replay,
         "store-diff": _command_store_diff,
     }

@@ -32,7 +32,9 @@ from repro.engine.batching import (
 )
 from repro.gossip.base import AsynchronousGossip
 from repro.observability import events as _events
-from repro.observability.telemetry import collect_telemetry
+from repro.observability import metrics as _metrics
+from repro.observability import profile as _profile
+from repro.observability.telemetry import collect_telemetry, metric_deltas
 from repro.workloads.fields import FIELD_GENERATORS, build_field_matrix
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a layer cycle
@@ -343,24 +345,31 @@ def execute_cell(
     """
     from repro.experiments.seeds import spawn_rng
 
-    graph, values = build_instance(config, cell.n, cell.trial)
-    algorithm = build_cell_algorithm(
-        config, graph, cell.algorithm, cell.n, cell.trial
-    )
+    # Snapshot counter totals up front so every increment this cell's
+    # build and run produce (engine windows, fault events, route-cache
+    # collectors registered at build time) lands in its telemetry delta.
+    registry = _metrics.active()
+    counters_before = registry.counter_totals() if registry is not None else None
+    with _profile.span("build"):
+        graph, values = build_instance(config, cell.n, cell.trial)
+        algorithm = build_cell_algorithm(
+            config, graph, cell.algorithm, cell.n, cell.trial
+        )
     run_rng = spawn_rng(config.root_seed, "run", cell.algorithm, cell.n, cell.trial)
     tracing = trace_dir is not None and cell_traceable(algorithm, values)
     trace_events = None
     if tracing:
         with _events.capture() as recorder:
             started = time.perf_counter()
-            result = run_batched(
-                algorithm,
-                values,
-                config.epsilon,
-                run_rng,
-                check_stride=check_stride,
-                stacklevel=stacklevel + 1,
-            )
+            with _profile.span("run"):
+                result = run_batched(
+                    algorithm,
+                    values,
+                    config.epsilon,
+                    run_rng,
+                    check_stride=check_stride,
+                    stacklevel=stacklevel + 1,
+                )
             wall_clock = time.perf_counter() - started
         recorder.annotate(
             cell={"algorithm": cell.algorithm, "n": cell.n, "trial": cell.trial}
@@ -369,15 +378,25 @@ def execute_cell(
         trace_events = len(recorder)
     else:
         started = time.perf_counter()
-        result = run_batched(
-            algorithm,
-            values,
-            config.epsilon,
-            run_rng,
-            check_stride=check_stride,
-            stacklevel=stacklevel + 1,
-        )
+        with _profile.span("run"):
+            result = run_batched(
+                algorithm,
+                values,
+                config.epsilon,
+                run_rng,
+                check_stride=check_stride,
+                stacklevel=stacklevel + 1,
+            )
         wall_clock = time.perf_counter() - started
+    cell_metrics = None
+    if registry is not None:
+        registry.counter(
+            "repro_cells_executed_total", "Cells executed in this process."
+        ).inc(algorithm=cell.algorithm)
+        registry.histogram(
+            "repro_cell_seconds", "Per-cell run wall clock."
+        ).observe(wall_clock, algorithm=cell.algorithm)
+        cell_metrics = metric_deltas(registry.counter_totals(), counters_before)
     multifield_fallback = (
         getattr(values, "ndim", 1) == 2
         and multifield_capability(algorithm) != "native"
@@ -395,6 +414,7 @@ def execute_cell(
         # cover k runs, not one; the run count annotates the inflation.
         multifield_runs=(values.shape[1] if multifield_fallback else None),
         trace_events=trace_events,
+        metrics=cell_metrics,
     )
     fault_metrics = getattr(algorithm, "fault_metrics", None)
     return CellRecord(

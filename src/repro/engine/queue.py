@@ -59,6 +59,7 @@ from pathlib import Path
 from typing import Callable, Iterable, Mapping
 
 from repro.engine.executor import SweepCell
+from repro.observability import metrics as _metrics
 
 __all__ = [
     "Lease",
@@ -273,6 +274,12 @@ class LeaseQueue:
                     os.rename(lease_path, grave)
                 except FileNotFoundError:
                     continue  # lost the reclaim race
+                registry = _metrics.active()
+                if registry is not None:
+                    registry.counter(
+                        "repro_queue_reclaims_total",
+                        "Stale leases reclaimed by this process.",
+                    ).inc(owner=owner)
                 # The winner owns the graveyard file exclusively now;
                 # annotate it so the audit log carries the full story.
                 audit = _read_json(grave) or {}
@@ -304,6 +311,11 @@ class LeaseQueue:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(entry, handle, sort_keys=True)
                 handle.flush()
+            registry = _metrics.active()
+            if registry is not None:
+                registry.counter(
+                    "repro_queue_claims_total", "Leases claimed."
+                ).inc(owner=owner)
             return Lease(
                 cell=cell,
                 owner=owner,
@@ -329,6 +341,11 @@ class LeaseQueue:
             )
         entry["heartbeat"] = self._clock()
         _atomic_write_json(lease.path, entry)
+        registry = _metrics.active()
+        if registry is not None:
+            registry.counter(
+                "repro_queue_heartbeats_total", "Lease heartbeats written."
+            ).inc(owner=lease.owner)
 
     def complete(self, lease: Lease) -> None:
         """Mark the leased cell done and release the lease.
@@ -347,6 +364,15 @@ class LeaseQueue:
         }
         _atomic_write_json(self.done_dir / f"{lease.id}.json", marker)
         self.release(lease)
+        registry = _metrics.active()
+        if registry is not None:
+            registry.counter(
+                "repro_queue_completions_total", "Cells completed."
+            ).inc(owner=lease.owner)
+            registry.histogram(
+                "repro_queue_cell_seconds",
+                "Claim-to-completion wall clock per cell.",
+            ).observe(marker["completed_at"] - lease.claimed_at)
 
     def release(self, lease: Lease) -> None:
         """Drop ``lease`` without completing (graceful mid-cell shutdown);
@@ -444,11 +470,11 @@ def _read_json(path: Path) -> "dict | None":
 
 
 def _atomic_write_json(path: Path, payload: Mapping) -> None:
-    """Write ``payload`` via temp file + ``os.replace`` (atomic on POSIX).
+    """Write ``payload`` via the store's shared atomic-replace discipline.
 
     The temp name embeds the pid so two processes atomically writing the
     same target never collide on the intermediate file.
     """
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
-    os.replace(tmp, path)
+    from repro.engine.store import atomic_write_text
+
+    atomic_write_text(path, json.dumps(payload, sort_keys=True))

@@ -63,9 +63,12 @@ from repro.engine.executor import (
 from repro.engine.queue import LeaseLost, LeaseQueue, QueueStats
 from repro.engine.store import (
     ResultStore,
+    atomic_write_text,
     canonical_record_bytes,
     content_key,
 )
+from repro.observability.metrics import Counter, MetricsRegistry
+from repro.observability.server import MetricsServer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a layer cycle
     from repro.experiments.config import ExperimentConfig
@@ -228,22 +231,17 @@ def merge_shards(
     return report
 
 
-def publish_partial_report(
-    config: "ExperimentConfig",
-    store: ResultStore,
-    shards: "str | os.PathLike",
-    out_path: "str | os.PathLike",
-) -> int:
-    """Render the partial sweep table from everything landed so far.
+def _landed_records(
+    store: ResultStore, shards: "str | os.PathLike"
+) -> dict[CellKey, CellRecord]:
+    """Everything landed so far: canonical store ∪ all worker shards.
 
-    The streaming aggregator: the union of the canonical store and every
-    shard's records (first shard wins on overlap; divergence checking is
-    the *merge*'s job — publishing must never crash the coordinator) is
-    aggregated through the standard reporting path and written atomically
-    as Markdown.  Returns the number of cells the report covers.
+    First-wins on overlap (canonical store first, then shards in sorted
+    worker-id order); divergence checking is the *merge*'s job — this
+    union is the crash-tolerant read path the streaming aggregator and
+    the live metrics endpoint share, so it must never raise on a torn
+    or half-written shard.
     """
-    from repro.experiments.report import render_partial_markdown
-
     records: dict[CellKey, CellRecord] = dict(store.load_records())
     shards_path = Path(shards)
     if shards_path.is_dir():
@@ -254,26 +252,156 @@ def publish_partial_report(
                 shard_dir / store.key / "cells.jsonl"
             ):
                 records.setdefault(record.key, record)
-    text = render_partial_markdown(config, records)
-    out = Path(out_path)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    tmp = out.with_name(f".{out.name}.{os.getpid()}.tmp")
-    tmp.write_text(text, encoding="utf-8")
-    os.replace(tmp, out)
+    return records
+
+
+def publish_partial_report(
+    config: "ExperimentConfig",
+    store: ResultStore,
+    shards: "str | os.PathLike",
+    out_path: "str | os.PathLike",
+) -> int:
+    """Render the partial sweep table from everything landed so far.
+
+    The streaming aggregator: the union of the canonical store and every
+    shard's records (:func:`_landed_records`) is aggregated through the
+    standard reporting path and written atomically as Markdown
+    (:func:`~repro.engine.store.atomic_write_text` — a reader never sees
+    a torn report).  Returns the number of cells the report covers.
+    """
+    from repro.experiments.report import render_partial_markdown
+
+    records = _landed_records(store, shards)
+    atomic_write_text(out_path, render_partial_markdown(config, records))
     return len(records)
 
 
-def _write_service_telemetry(queue: LeaseQueue, path: Path) -> dict:
-    """Snapshot queue health + per-worker throughput to ``path``."""
+def _write_service_telemetry(
+    queue: LeaseQueue, path: Path, registry: "MetricsRegistry | None" = None
+) -> dict:
+    """Snapshot queue health + per-worker throughput to ``path``.
+
+    When the coordinator is serving live metrics, the same registry
+    snapshot the ``/metrics`` endpoint would render is embedded under a
+    ``"metrics"`` key, so the on-disk telemetry and the scrape endpoint
+    can never drift apart.
+    """
     from repro.observability.telemetry import service_telemetry
 
     payload = service_telemetry(queue.stats(), queue.done_log())
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    if registry is not None:
+        payload["metrics"] = registry.snapshot()
+    atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
-    os.replace(tmp, path)
     return payload
+
+
+#: Route-cache counters a cell record carries home in its telemetry,
+#: mapped to the fleet-wide series the coordinator republishes them as.
+_RECORD_CACHE_SERIES = {
+    "cache_hits": "repro_route_cache_hits_total",
+    "cache_misses": "repro_route_cache_misses_total",
+    "cache_invalidations": "repro_route_cache_invalidations_total",
+    "cache_repairs": "repro_route_cache_repairs_total",
+    "cache_drops": "repro_route_cache_drops_total",
+}
+
+
+def _set_total(counter: Counter, value: float, **labels) -> None:
+    """``set_total`` clamped against transient dips.
+
+    Coordinator totals are re-derived from on-disk state (done markers,
+    shard files) that only grows, but a torn read can make one sample
+    *look* smaller for a moment.  Publishing must never crash the
+    coordinator, so a sample below the exported value simply holds the
+    counter where it is.
+    """
+    counter.set_total(max(float(value), counter.value(**labels)), **labels)
+
+
+def _update_service_metrics(
+    registry: MetricsRegistry,
+    queue: LeaseQueue,
+    store: ResultStore,
+    shards: "str | os.PathLike",
+) -> None:
+    """Refresh the coordinator's registry from queue + landed records.
+
+    Called whenever the done count moves (and once at startup, so every
+    pinned series exists from the first scrape).  Queue state feeds the
+    depth gauges and completion counters directly; per-worker
+    throughput comes through the standard telemetry aggregation; and
+    engine-level route-cache totals — which accumulate in *worker*
+    processes, invisible to this one — are recovered by summing the
+    ``cache_*`` telemetry each landed :class:`CellRecord` carries.
+    """
+    from repro.observability.telemetry import service_telemetry
+
+    stats = queue.stats()
+    registry.gauge(
+        "repro_queue_depth", "Cells claimable right now."
+    ).set(stats.pending)
+    cells = registry.gauge(
+        "repro_queue_cells", "Queue composition by cell state."
+    )
+    cells.set(stats.pending, state="pending")
+    cells.set(stats.leased, state="leased")
+    cells.set(stats.done, state="done")
+    _set_total(
+        registry.counter(
+            "repro_cells_completed_total", "Cells completed fleet-wide."
+        ),
+        stats.done,
+    )
+    _set_total(
+        registry.counter(
+            "repro_queue_reclamations_total",
+            "Stale leases reclaimed from presumed-dead workers.",
+        ),
+        stats.reclamations,
+    )
+    snapshot = service_telemetry(stats, queue.done_log())
+    for worker, slot in sorted(snapshot["workers"].items()):
+        _set_total(
+            registry.counter(
+                "repro_worker_cells_total", "Cells completed per worker."
+            ),
+            slot["cells"],
+            worker=worker,
+        )
+        registry.gauge(
+            "repro_worker_cells_per_sec",
+            "Per-worker throughput over lease-held time.",
+        ).set(slot["cells_per_sec"], worker=worker)
+    sums = {series: 0.0 for series in _RECORD_CACHE_SERIES.values()}
+    for record in _landed_records(store, shards).values():
+        telemetry = record.telemetry or {}
+        for field, series in _RECORD_CACHE_SERIES.items():
+            sums[series] += float(telemetry.get(field, 0.0))
+    for series, total in sums.items():
+        _set_total(
+            registry.counter(
+                series, "Route-cache total summed from landed cell records."
+            ),
+            total,
+        )
+
+
+def _count_merge(registry: "MetricsRegistry | None", report: dict) -> None:
+    """Fold one :func:`merge_shards` report into the merge counters."""
+    if registry is None:
+        return
+    registry.counter(
+        "repro_merge_appended_total", "Shard records merged into the store."
+    ).inc(report["appended"])
+    registry.counter(
+        "repro_merge_duplicates_total",
+        "Byte-verified duplicate records discarded at merge.",
+    ).inc(report["duplicates"])
+    registry.counter(
+        "repro_merge_traces_total", "Trace files copied at merge."
+    ).inc(report["traces"])
 
 
 def run_worker(
@@ -410,6 +538,8 @@ def run_distributed_sweep(
     chaos_kill_after: "float | None" = None,
     max_respawns: "int | None" = None,
     on_progress: "Callable[[QueueStats], None] | None" = None,
+    metrics_port: "int | None" = None,
+    on_metrics_url: "Callable[[str], None] | None" = None,
 ) -> dict[CellKey, CellRecord]:
     """Coordinate one distributed sweep session; returns the merged records.
 
@@ -428,6 +558,18 @@ def run_distributed_sweep(
     the session — the built-in chaos-engineering knob the CI smoke job
     uses to prove lease reclamation keeps the sweep lossless.
 
+    ``metrics_port`` (``0`` = ephemeral) starts a
+    :class:`~repro.observability.server.MetricsServer` beside the poll
+    loop: ``GET /metrics`` serves live Prometheus exposition (queue
+    depth and composition, completions, reclamations, per-worker
+    throughput, route-cache totals aggregated from landed records,
+    merge counters) and ``GET /healthz`` serves fresh service
+    telemetry.  ``on_metrics_url`` receives the bound base URL once the
+    server is listening — how the CLI prints it and tests find an
+    ephemeral port.  The endpoint observes; it never alters scheduling
+    or results.  A sweep with nothing left to run returns before the
+    queue (and therefore the server) exists.
+
     Raises :class:`RuntimeError` when the respawn budget is exhausted
     with cells unfinished (the deterministic-failure escape hatch), and
     :class:`~repro.engine.store.ShardDivergenceError` if any shard
@@ -442,9 +584,13 @@ def run_distributed_sweep(
             "strides in one store would blend non-identical numbers"
         )
     store.open()
+    registry = MetricsRegistry() if metrics_port is not None else None
+    server: "MetricsServer | None" = None
     queue_root = Path(queue_dir)
     shards = shards_root(queue_root)
-    merge_shards(store, shards)  # a crashed session's completed work
+    # A crashed session's completed work; counted so a resumed session's
+    # merge counters reflect what it inherited.
+    _count_merge(registry, merge_shards(store, shards))
     grid = expand_grid(config)
     held = store.load_records()
     pending = [cell for cell in grid if cell.key not in held]
@@ -463,6 +609,22 @@ def run_distributed_sweep(
     budget = workers if max_respawns is None else max_respawns
     fleet: list[tuple[str, subprocess.Popen]] = []
     try:
+        if registry is not None:
+            from repro.observability.telemetry import service_telemetry
+
+            server = MetricsServer(
+                registry,
+                port=metrics_port,
+                health=lambda: service_telemetry(
+                    queue.stats(), queue.done_log()
+                ),
+            )
+            server.start()
+            # Seed every series before the first completion, so a scrape
+            # that races the fleet spawn already parses cleanly.
+            _update_service_metrics(registry, queue, store, shards)
+            if on_metrics_url is not None:
+                on_metrics_url(server.url)
         fleet = [
             (
                 f"w{index}",
@@ -498,7 +660,9 @@ def run_distributed_sweep(
             if stats.done != last_done:
                 last_done = stats.done
                 publish_partial_report(config, store, shards, report_path)
-                _write_service_telemetry(queue, telemetry_path)
+                if registry is not None:
+                    _update_service_metrics(registry, queue, store, shards)
+                _write_service_telemetry(queue, telemetry_path, registry)
                 if on_progress is not None:
                     on_progress(stats)
             if all(proc.poll() is not None for _, proc in fleet):
@@ -536,9 +700,13 @@ def run_distributed_sweep(
         for _, proc in fleet:
             if proc.poll() is None:
                 proc.kill()
-    merge_shards(store, shards)
+        if server is not None:
+            server.stop()
+    _count_merge(registry, merge_shards(store, shards))
     publish_partial_report(config, store, shards, report_path)
-    _write_service_telemetry(queue, telemetry_path)
+    if registry is not None:
+        _update_service_metrics(registry, queue, store, shards)
+    _write_service_telemetry(queue, telemetry_path, registry)
     return {
         key: record
         for key, record in store.load_records().items()

@@ -48,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only; avoids a layer cycle
 __all__ = [
     "ResultStore",
     "ShardDivergenceError",
+    "atomic_write_text",
     "canonical_record_bytes",
     "content_key",
 ]
@@ -55,6 +56,25 @@ __all__ = [
 #: Bump when the record schema changes; part of the content key so old
 #: stores are never misread as new ones.
 STORE_FORMAT = 1
+
+
+def atomic_write_text(path: "str | os.PathLike", text: str) -> None:
+    """Replace ``path``'s contents with ``text`` atomically.
+
+    Writes to a pid-suffixed sibling temp file and ``os.replace``s it
+    over the target, so a reader never observes a torn file and a
+    crashed writer leaves the previous version intact.  This is the one
+    write discipline every service-published artifact uses
+    (``partial_report.md``, ``telemetry.json``, lease heartbeats);
+    multi-process safety comes from the pid in the temp name — two
+    concurrent publishers race only on which complete version lands
+    last.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, target)
 
 
 class ShardDivergenceError(ValueError):

@@ -78,6 +78,8 @@ from repro.gossip.spatial import SpatialGossip
 from repro.metrics.error import normalized_error, result_column_errors
 from repro.metrics.trace import ConvergenceTrace
 from repro.observability import events as _events
+from repro.observability import metrics as _metrics
+from repro.observability import profile as _profile
 from repro.routing.cost import TransmissionCounter
 
 __all__ = [
@@ -336,28 +338,51 @@ def _run_lockstep(
         traces[t].force_record(0, 0, error)
         if error > epsilon:
             active.append(t)
+    # Metrics and spans are window-granular here too (one update per
+    # shared window across all active trials), matching run_batched's
+    # E22 overhead contract.  Instruments resolve once, out here.
+    registry = _metrics.active()
+    name = algorithms[0].name
+    if registry is not None:
+        ticks_counter = registry.counter(
+            "repro_engine_ticks_total", "Ticks executed by the engine."
+        )
+        windows_counter = registry.counter(
+            "repro_tensor_windows_total",
+            "Shared windows advanced by the trial-tensor driver.",
+        )
+        active_gauge = registry.gauge(
+            "repro_tensor_active_trials",
+            "Trials still converging in the current tensor slice.",
+        )
     ticks = 0
     while active and ticks < budget:
         window = min(period, budget - ticks)
-        rows = xp.asarray(active, dtype=xp.int64)
-        owners = xp.stack(
-            [owner_rngs[t].integers(n, size=window) for t in active]
-        )
-        if kernel is not None:
-            kernel.advance(rows, owners, tensor, counters, protocol_rngs)
-        else:
-            for j, t in enumerate(active):
-                algorithms[t].tick_block(
-                    owners[j], tensor[t], counters[t], protocol_rngs[t]
-                )
+        with _profile.span("window"):
+            rows = xp.asarray(active, dtype=xp.int64)
+            owners = xp.stack(
+                [owner_rngs[t].integers(n, size=window) for t in active]
+            )
+            if kernel is not None:
+                kernel.advance(rows, owners, tensor, counters, protocol_rngs)
+            else:
+                for j, t in enumerate(active):
+                    algorithms[t].tick_block(
+                        owners[j], tensor[t], counters[t], protocol_rngs[t]
+                    )
         ticks += window
-        still = []
-        for t in active:
-            error = normalized_error(tensor[t], states[t])
-            traces[t].record(counters[t].total, ticks, error)
-            final_ticks[t] = ticks
-            if error > epsilon:
-                still.append(t)
+        with _profile.span("check"):
+            still = []
+            for t in active:
+                error = normalized_error(tensor[t], states[t])
+                traces[t].record(counters[t].total, ticks, error)
+                final_ticks[t] = ticks
+                if error > epsilon:
+                    still.append(t)
+        if registry is not None:
+            ticks_counter.inc(window * len(active), algorithm=name)
+            windows_counter.inc(algorithm=name)
+            active_gauge.set(len(still), algorithm=name)
         active = still
     results = []
     for t in range(trials):

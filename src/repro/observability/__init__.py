@@ -23,24 +23,58 @@ Three pieces make engine runs debuggable and independently checkable:
   occurrences) surfaced in
   :class:`~repro.engine.executor.CellRecord` and the sweep report.
 
-Layering: :mod:`~repro.observability.events` and
-:mod:`~repro.observability.telemetry` are leaf modules (stdlib only), so
+Three more pieces make a *running* sweep observable live:
+
+* :mod:`repro.observability.metrics` — an opt-in pull-based metrics
+  registry (labelled counters, gauges, fixed-bucket histograms) with
+  Prometheus text-exposition rendering.  Hot layers either update it at
+  window granularity or register pull-time collectors, so the same
+  bit-identity and ``is None``-when-off guarantees as tracing hold
+  (benchmark E22 caps the enabled overhead at 1.05×).
+* :mod:`repro.observability.profile` — a nestable span profiler on
+  :func:`time.perf_counter` aggregating into a per-phase hotpath table
+  (count, total, mean, p50/p99), surfaced by ``repro profile``.
+* :mod:`repro.observability.server` — the stdlib HTTP scrape endpoint
+  (``GET /metrics``, ``GET /healthz``) the sweep-service coordinator
+  runs behind ``repro serve-sweep --metrics-port``.
+
+Layering: :mod:`~repro.observability.events`,
+:mod:`~repro.observability.telemetry`,
+:mod:`~repro.observability.metrics`, and
+:mod:`~repro.observability.profile` are leaf modules (stdlib only), so
 every protocol and routing layer can import them without cycles;
+:mod:`~repro.observability.server` imports only the metrics leaf, and
 :mod:`~repro.observability.replay` sits *above* the gossip/dynamics
 layers it replays and is re-exported lazily.
 """
 
-from repro.observability import events
+from repro.observability import events, metrics, profile, server
 from repro.observability.events import TraceRecorder, active, capture, suspend
-from repro.observability.telemetry import cache_stats, collect_telemetry
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.profile import SpanProfiler
+from repro.observability.server import MetricsServer
+from repro.observability.telemetry import (
+    cache_stats,
+    collect_telemetry,
+    metric_deltas,
+    service_telemetry,
+)
 
 __all__ = [
+    "MetricsRegistry",
+    "MetricsServer",
+    "SpanProfiler",
     "TraceRecorder",
     "active",
     "cache_stats",
     "capture",
     "collect_telemetry",
     "events",
+    "metric_deltas",
+    "metrics",
+    "profile",
+    "server",
+    "service_telemetry",
     "suspend",
     # Lazily re-exported from repro.observability.replay (see __getattr__):
     "ReplayError",

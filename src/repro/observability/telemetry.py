@@ -17,7 +17,12 @@ imports): this module is a leaf the engine layers can import freely.
 
 from __future__ import annotations
 
-__all__ = ["cache_stats", "collect_telemetry", "service_telemetry"]
+__all__ = [
+    "cache_stats",
+    "collect_telemetry",
+    "metric_deltas",
+    "service_telemetry",
+]
 
 
 def cache_stats(algorithm) -> "dict[str, float] | None":
@@ -56,6 +61,7 @@ def collect_telemetry(
     multifield_runs: "int | None" = None,
     trace_events: "int | None" = None,
     trial_batch: bool = False,
+    metrics: "dict[str, float] | None" = None,
 ) -> dict[str, float]:
     """One cell's flat telemetry mapping.
 
@@ -69,7 +75,9 @@ def collect_telemetry(
     number of nested runs a per-column fallback cell executed on *one*
     protocol instance, which is the factor by which its cumulative
     counters (the route-cache hits/misses above) are inflated relative
-    to a single run.
+    to a single run.  ``metrics`` (from :func:`metric_deltas`) merges
+    registry counter movement attributed to this cell, each entry
+    prefixed ``metric_``.
     """
     telemetry = {
         "ticks_per_sec": (
@@ -87,7 +95,35 @@ def collect_telemetry(
         telemetry["trace_events"] = float(trace_events)
     if trial_batch:
         telemetry["trial_batch"] = 1.0
+    if metrics:
+        telemetry.update(metrics)
     return telemetry
+
+
+def metric_deltas(
+    after: "dict[str, float]", before: "dict[str, float]"
+) -> dict[str, float]:
+    """Counter movement between two registry snapshots, per series.
+
+    The sweep executor snapshots
+    :meth:`~repro.observability.metrics.MetricsRegistry.counter_totals`
+    around a cell and stores the nonzero deltas on the cell's record —
+    which is how the distributed coordinator (a separate process from
+    its workers) can still aggregate engine-level counters fleet-wide:
+    they ride home inside each landed
+    :class:`~repro.engine.executor.CellRecord`.
+
+    >>> metric_deltas(
+    ...     {"repro_x_total": 5.0, "repro_y_total": 2.0},
+    ...     {"repro_x_total": 3.0})
+    {'metric_repro_x_total': 2.0, 'metric_repro_y_total': 2.0}
+    """
+    deltas: dict[str, float] = {}
+    for series, value in after.items():
+        delta = value - before.get(series, 0.0)
+        if delta:
+            deltas[f"metric_{series}"] = delta
+    return deltas
 
 
 def service_telemetry(stats, done_log) -> dict:
