@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine commands cover the common workflows without writing any code:
+Eleven commands cover the common workflows without writing any code:
 
 * ``run``         — one algorithm, one field, one graph; prints the
   outcome and an ASCII view of the field before/after.
@@ -8,11 +8,22 @@ Nine commands cover the common workflows without writing any code:
 * ``serve-sweep`` — the same sweep, distributed: a coordinator enqueues
   cells on a file-backed lease queue and spawns crash-surviving worker
   processes (:mod:`repro.engine.service`); results are bit-identical to
-  ``sweep`` at any worker count, even across worker kills.
+  ``sweep`` at any worker count, even across worker kills.  With
+  ``--daemon`` the session outlives its first grid: the fleet keeps
+  serving until ``repro drain`` (or SIGTERM), accepting new grids from
+  ``repro enqueue`` with priority classes (``p0`` drains before ``p1``
+  before ``p2``) and bounded admission (``--max-pending``).
 * ``work``        — one worker process; attaches to a queue directory
-  and pulls cells until the queue drains (``serve-sweep`` spawns these,
-  but extra workers can be pointed at the same queue from other shells
-  or hosts sharing the filesystem).
+  and pulls cells until the queue drains — or, on a daemon queue, until
+  drain is requested (``serve-sweep`` spawns these, but extra workers
+  can be pointed at the same queue from other shells or hosts sharing
+  the filesystem).
+* ``enqueue``     — admit another sweep grid into a running daemon
+  session, at a chosen ``--priority``; exits 3 (backpressure) when the
+  queue's ``--max-pending`` bound would be exceeded, unless ``--block``.
+* ``drain``       — flip a daemon session's drain marker: workers finish
+  the backlog and exit, the coordinator merges and shuts down
+  (``--wait`` blocks until the backlog is done).
 * ``inspect``     — build and display the hierarchy for a placement.
 * ``trace``       — one run under the structured event recorder; writes
   the JSONL trace and draws its convergence/fault timeline.
@@ -52,6 +63,11 @@ Examples::
     python -m repro replay results
     python -m repro serve-sweep --sizes 128,256 --workers 3 \
         --store-dir results --resume --metrics-port 9100
+    python -m repro serve-sweep --sizes 128,256 --store-dir results \
+        --daemon --max-pending 64 --metrics-port 9100
+    python -m repro enqueue --queue-dir results/_service_queue \
+        --sizes 512 --algorithms hierarchical --priority 0
+    python -m repro drain --queue-dir results/_service_queue --wait
     python -m repro profile --algorithm geographic --n 512
     python -m repro store-diff results other-results
 """
@@ -372,11 +388,35 @@ def build_parser() -> argparse.ArgumentParser:
         "GET /healthz from the coordinator on this loopback port while "
         "the sweep runs (0 = pick an ephemeral port; printed at startup)",
     )
+    serve.add_argument(
+        "--daemon",
+        action="store_true",
+        help="long-lived mode: keep the fleet serving after this grid "
+        "drains, accepting further grids from 'repro enqueue' until "
+        "'repro drain' or SIGTERM",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=_positive_int,
+        default=None,
+        help="daemon admission bound: refuse enqueues that would push "
+        "the unfinished backlog past this many cells ('repro enqueue' "
+        "exits 3)",
+    )
+    serve.add_argument(
+        "--priority",
+        type=int,
+        choices=(0, 1, 2),
+        default=1,
+        help="daemon priority class for this first grid (p0 drains "
+        "before p1 before p2)",
+    )
 
     work = sub.add_parser(
         "work",
         help="one sweep-service worker: attach to a queue directory and "
-        "pull cells until the queue drains ('serve-sweep' spawns these)",
+        "pull cells until the queue drains — or, on a daemon queue, "
+        "until drain is requested ('serve-sweep' spawns these)",
     )
     work.add_argument(
         "--queue-dir",
@@ -397,6 +437,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="chaos/testing knob: sleep this many seconds inside each "
         "leased window before executing",
+    )
+
+    enqueue = sub.add_parser(
+        "enqueue",
+        help="admit another sweep grid into a running daemon session "
+        "('serve-sweep --daemon'); exits 3 when --max-pending would be "
+        "exceeded (backpressure)",
+    )
+    enqueue.add_argument(
+        "--queue-dir",
+        required=True,
+        help="the daemon session's lease queue",
+    )
+    _add_sweep_grid_flags(enqueue)
+    enqueue.add_argument(
+        "--priority",
+        type=int,
+        choices=(0, 1, 2),
+        default=1,
+        help="priority class (p0 drains before p1 before p2)",
+    )
+    enqueue.add_argument(
+        "--trace",
+        action="store_true",
+        help="write each cell's structured event stream under the shard "
+        "stores (merged into the grid's canonical traces/)",
+    )
+    enqueue.add_argument(
+        "--store-dir",
+        default=None,
+        help="override the canonical store root (default: the one the "
+        "daemon recorded in its queue manifest)",
+    )
+    enqueue.add_argument(
+        "--block",
+        action="store_true",
+        help="instead of exiting 3 on backpressure, wait for the backlog "
+        "to drain below --max-pending and then enqueue",
+    )
+
+    drain = sub.add_parser(
+        "drain",
+        help="ask a daemon session to finish its backlog and shut down "
+        "(workers exit once drained; the coordinator merges and stops)",
+    )
+    drain.add_argument(
+        "--queue-dir",
+        required=True,
+        help="the daemon session's lease queue",
+    )
+    drain.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the backlog is fully drained",
+    )
+    drain.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="with --wait: seconds between drain checks",
     )
 
     inspect = sub.add_parser("inspect", help="build and display a hierarchy")
@@ -949,6 +1049,10 @@ def _command_serve_sweep(args: argparse.Namespace) -> int:
     def _metrics_url(url: str) -> None:
         print(f"metrics: {url}/metrics  (health: {url}/healthz)", flush=True)
 
+    if args.daemon:
+        return _serve_sweep_daemon(
+            args, config, queue_dir, _progress, _metrics_url
+        )
     try:
         run_distributed_sweep(
             config,
@@ -980,6 +1084,51 @@ def _command_serve_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_sweep_daemon(
+    args: argparse.Namespace,
+    config,
+    queue_dir: Path,
+    on_progress,
+    on_metrics_url,
+) -> int:
+    from repro.engine.service import run_sweep_daemon
+
+    print(
+        "daemon: accepting further grids via 'repro enqueue "
+        f"--queue-dir {queue_dir}'; stop with 'repro drain "
+        f"--queue-dir {queue_dir}' or SIGTERM"
+    )
+    try:
+        results = run_sweep_daemon(
+            args.store_dir,
+            queue_dir=queue_dir,
+            workers=args.workers,
+            ttl=args.ttl,
+            heartbeat_interval=args.heartbeat_interval,
+            poll_interval=args.poll_interval,
+            worker_throttle=args.worker_throttle,
+            max_pending=args.max_pending,
+            max_respawns=args.max_respawns,
+            chaos_kill_after=args.chaos_kill_after,
+            metrics_port=args.metrics_port,
+            on_metrics_url=on_metrics_url,
+            on_progress=on_progress,
+            initial_grids=[
+                (config, args.check_stride, args.trace, args.priority)
+            ],
+            handle_signals=True,
+        )
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"\ndrained {len(results)} grid(s):")
+    for key in sorted(results):
+        print(f"  {key}: {len(results[key])} cells -> "
+              f"{Path(args.store_dir) / key}")
+    print(f"(partial report + telemetry under {queue_dir})")
+    return 0
+
+
 def _command_work(args: argparse.Namespace) -> int:
     import os
 
@@ -999,6 +1148,53 @@ def _command_work(args: argparse.Namespace) -> int:
     except FileNotFoundError as error:
         _usage_error(str(error))
     print(f"worker {worker_id}: {completed} cells completed, queue drained")
+    return 0
+
+
+def _command_enqueue(args: argparse.Namespace) -> int:
+    from repro.engine.queue import QueueFull
+    from repro.engine.service import enqueue_grid
+
+    config = _sweep_config(args)
+    try:
+        report = enqueue_grid(
+            args.queue_dir,
+            config,
+            check_stride=args.check_stride,
+            trace=args.trace,
+            priority=args.priority,
+            store_root=args.store_dir,
+            block=args.block,
+        )
+    except QueueFull as error:
+        print(f"backpressure: {error}", file=sys.stderr)
+        return 3
+    except (FileNotFoundError, ValueError) as error:
+        _usage_error(str(error))
+    print(
+        f"grid {report['grid']} at p{report['priority']}: "
+        f"{report['enqueued']} cells enqueued, {report['skipped']} already "
+        f"finished ({report['pending_depth']} pending overall)"
+    )
+    return 0
+
+
+def _command_drain(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.engine.queue import LeaseQueue
+
+    try:
+        queue = LeaseQueue.open(args.queue_dir)
+    except (FileNotFoundError, ValueError) as error:
+        _usage_error(str(error))
+    queue.request_drain()
+    print(f"drain requested on {queue.root}")
+    if args.wait:
+        while not queue.drained():
+            time.sleep(args.poll_interval)
+        stats = queue.stats()
+        print(f"drained: {stats.done} cells done")
     return 0
 
 
@@ -1058,6 +1254,8 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _command_sweep,
         "serve-sweep": _command_serve_sweep,
         "work": _command_work,
+        "enqueue": _command_enqueue,
+        "drain": _command_drain,
         "inspect": _command_inspect,
         "trace": _command_trace,
         "profile": _command_profile,

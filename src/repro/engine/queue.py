@@ -10,19 +10,32 @@ filesystem, using only atomic primitives every POSIX filesystem provides
 directory), so N worker *processes* (or N hosts over a shared
 filesystem) can coordinate without a broker.
 
-Layout::
+Layout (queue format 2)::
 
     <queue root>/
-      manifest.json            # cells, lease ttl, opaque service payload
-      leases/<cell>.json       # live lease: owner, heartbeat, attempt
-      done/<cell>.json         # completion marker: owner, attempt, timing
-      reclaimed/<cell>.a<k>.json  # audit log of every reclaimed lease
+      manifest.json            # format, lease ttl, daemon flag, admission
+                               # bound, opaque service payload
+      grids/<key>.json         # immutable grid descriptor per enqueued
+                               # sweep (config payload + priority)
+      pending/p0/              # priority-classed registration buckets:
+      pending/p1/              #   <seq>__<stem>.json, claimed strictly
+      pending/p2/              #   high-before-low (p0 first), FIFO within
+      leases/<stem>.json       # live lease: owner, heartbeat, attempt
+      done/<stem>.json         # completion marker: owner, attempt, timing
+      reclaimed/<stem>.a<k>.json  # audit log of every reclaimed lease
+      drain                    # drain marker: stop accepting, finish work
+
+A cell's *stem* is its :func:`cell_id`, prefixed by its grid's content
+key when the cell was enqueued through a grid descriptor — so a daemon
+session can carry cells of several sweeps without identity collisions.
 
 Lease lifecycle (see ``docs/sweep_service.md`` for the full rules):
 
 * **claim** — a worker acquires a pending cell by *exclusively creating*
-  its lease file; exactly one creator wins.  A cell is pending when it
-  has no ``done`` marker and no live lease.
+  its lease file; exactly one creator wins.  Pending entries are walked
+  bucket by bucket (``p0`` → ``p1`` → ``p2``), in enqueue-sequence order
+  within each bucket: priority drains strictly high-before-low.  A cell
+  is pending when it has no ``done`` marker and no live lease.
 * **heartbeat** — the owner periodically rewrites the lease with a fresh
   timestamp (atomic temp-file + ``os.replace``).  A heartbeat against a
   lease that was stolen or superseded raises :class:`LeaseLost`.
@@ -32,7 +45,15 @@ Lease lifecycle (see ``docs/sweep_service.md`` for the full rules):
   so exactly one stealer wins — then claims the cell fresh with the
   attempt counter bumped.
 * **complete** — the owner writes the ``done`` marker (atomic replace,
-  idempotent) and removes its lease.
+  idempotent), removes its lease, and retires the pending entry.
+
+Daemon sessions additionally grow **admission control**: a queue created
+with ``max_pending`` refuses (:class:`QueueFull`) any
+:meth:`~LeaseQueue.register_grid` that would push the number of
+unfinished registered cells past the bound — the backpressure signal
+``repro enqueue`` turns into exit code 3.  :meth:`~LeaseQueue.request_drain`
+drops a marker file that tells daemon workers and the coordinator to
+finish the backlog and exit instead of idling for more work.
 
 The queue never executes anything and never talks to the result store;
 it only arbitrates ownership.  Duplicate execution is *possible by
@@ -62,15 +83,24 @@ from repro.engine.executor import SweepCell
 from repro.observability import metrics as _metrics
 
 __all__ = [
+    "DEFAULT_PRIORITY",
     "Lease",
     "LeaseLost",
     "LeaseQueue",
+    "PRIORITIES",
+    "QueueFull",
     "QueueStats",
     "cell_id",
 ]
 
 #: Bump when the on-disk queue layout changes; refuses foreign manifests.
-QUEUE_FORMAT = 1
+QUEUE_FORMAT = 2
+
+#: The priority classes, highest first; claims drain p0 before p1 before p2.
+PRIORITIES = (0, 1, 2)
+
+#: Where a grid lands when the enqueuer does not say otherwise.
+DEFAULT_PRIORITY = 1
 
 
 def cell_id(cell: SweepCell) -> str:
@@ -93,20 +123,43 @@ class LeaseLost(RuntimeError):
     """
 
 
+class QueueFull(RuntimeError):
+    """Raised when admitting a grid would exceed the queue's
+    ``max_pending`` bound — the daemon's backpressure signal.
+
+    Nothing is partially enqueued: the admission check runs before any
+    pending entry is written, so a refused grid leaves the queue
+    untouched and the enqueue can simply be retried after the backlog
+    drains.
+    """
+
+
 @dataclass(frozen=True)
 class Lease:
-    """A worker's claim on one cell: the handle for heartbeat/complete."""
+    """A worker's claim on one cell: the handle for heartbeat/complete.
+
+    ``grid`` names the content key of the grid descriptor the cell was
+    enqueued under (``None`` for gridless sessions, e.g. property
+    tests), so a daemon worker can resolve the right config and shard
+    store per cell.
+    """
 
     cell: SweepCell
     owner: str
     attempt: int
     path: Path
     claimed_at: float
+    grid: "str | None" = None
 
     @property
     def id(self) -> str:
         """The leased cell's :func:`cell_id`."""
         return cell_id(self.cell)
+
+    @property
+    def stem(self) -> str:
+        """The cell's queue-wide identity (grid-prefixed when gridded)."""
+        return self.id if self.grid is None else f"{self.grid}__{self.id}"
 
 
 @dataclass(frozen=True)
@@ -115,7 +168,8 @@ class QueueStats:
 
     ``pending`` counts cells that are claimable right now — no done
     marker and no *live* lease; a stale-leased cell is pending, because
-    the next claimant will reclaim it.
+    the next claimant will reclaim it.  ``pending_by_priority`` splits
+    that count per priority class (index 0 = ``p0``).
     """
 
     total: int
@@ -123,13 +177,15 @@ class QueueStats:
     leased: int
     done: int
     reclamations: int
+    pending_by_priority: "tuple[int, ...]" = (0,) * len(PRIORITIES)
 
 
 class LeaseQueue:
     """Lease-based work queue over a directory of sweep cells.
 
-    Create one per distributed sweep session with :meth:`create` (the
-    coordinator), attach from worker processes with :meth:`open`.
+    Create one per sweep session with :meth:`create` (the coordinator),
+    attach from worker processes (or ``repro enqueue`` / ``repro
+    drain``) with :meth:`open`.
 
     Parameters
     ----------
@@ -145,11 +201,15 @@ class LeaseQueue:
     ):
         self.root = Path(root)
         self.manifest_path = self.root / "manifest.json"
+        self.grids_dir = self.root / "grids"
+        self.pending_dir = self.root / "pending"
         self.lease_dir = self.root / "leases"
         self.done_dir = self.root / "done"
         self.reclaimed_dir = self.root / "reclaimed"
+        self.drain_path = self.root / "drain"
         self._clock = clock
         self._manifest: dict | None = None
+        self._grid_cache: dict[str, dict] = {}
 
     # -- construction --------------------------------------------------
 
@@ -162,35 +222,69 @@ class LeaseQueue:
         ttl: float,
         payload: "Mapping | None" = None,
         clock: Callable[[], float] = time.time,
+        priority: int = DEFAULT_PRIORITY,
+        daemon: bool = False,
+        max_pending: "int | None" = None,
     ) -> "LeaseQueue":
         """Initialise a fresh queue session holding ``cells``.
 
         Any prior session state under ``root`` (leases, done markers,
-        reclamation log, manifest) is wiped — a new session decides
-        pending-ness from the *result store*, not from old markers.
-        Sibling directories (notably ``shards/``) are left untouched so
-        a crashed session's completed work survives into the next one.
+        pending entries, grid descriptors, reclamation log, manifest,
+        drain marker) is wiped — a new session decides pending-ness from
+        the *result store*, not from old markers.  Sibling directories
+        (notably ``shards/``) are left untouched so a crashed session's
+        completed work survives into the next one.
 
-        ``payload`` is an opaque service descriptor (the sweep config,
-        stride, trace flag…) that workers read back via
-        :meth:`manifest`.
+        ``payload`` is an opaque service descriptor that workers read
+        back via :meth:`manifest`.  When it carries a sweep grid (a
+        ``config`` and its pinned content ``key``, i.e. a
+        :func:`repro.engine.service.service_manifest`), the grid is
+        registered as this session's first grid descriptor and ``cells``
+        are enqueued under it at ``priority``; otherwise the cells are
+        enqueued gridless.
+
+        ``daemon=True`` marks a long-lived session: workers idle for
+        more work when the queue is momentarily empty, until
+        :meth:`request_drain` (or SIGTERM on the coordinator) flips the
+        drain marker.  ``max_pending`` bounds admission
+        (:meth:`register_grid` raises :class:`QueueFull` past it).
         """
         if ttl <= 0:
             raise ValueError(f"ttl must be positive, got {ttl}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         queue = cls(root, clock=clock)
-        cell_list = [list(cell.key) for cell in cells]
-        for directory in (queue.lease_dir, queue.done_dir, queue.reclaimed_dir):
+        buckets = [queue.pending_dir / f"p{p}" for p in PRIORITIES]
+        wipe = [
+            queue.lease_dir,
+            queue.done_dir,
+            queue.reclaimed_dir,
+            queue.grids_dir,
+            *buckets,
+        ]
+        for directory in wipe:
             directory.mkdir(parents=True, exist_ok=True)
             for stale in directory.glob("*.json"):
                 stale.unlink()
+        try:
+            queue.drain_path.unlink()
+        except FileNotFoundError:
+            pass
         manifest = {
             "format": QUEUE_FORMAT,
             "ttl": float(ttl),
-            "cells": cell_list,
+            "daemon": bool(daemon),
+            "max_pending": max_pending,
             "payload": dict(payload) if payload is not None else {},
         }
         _atomic_write_json(queue.manifest_path, manifest)
         queue._manifest = manifest
+        cell_list = list(cells)
+        grid_payload = manifest["payload"]
+        if "config" in grid_payload and "key" in grid_payload:
+            queue.register_grid(grid_payload, cell_list, priority=priority)
+        elif cell_list:
+            queue._enqueue_cells(None, cell_list, priority)
         return queue
 
     @classmethod
@@ -228,48 +322,276 @@ class LeaseQueue:
         """Seconds after the last heartbeat at which a lease is stale."""
         return float(self.manifest()["ttl"])
 
-    def cells(self) -> list[SweepCell]:
-        """The session's cells, in enqueue (= claim-priority) order."""
-        return [
-            SweepCell(algorithm=str(a), n=int(n), trial=int(t))
-            for a, n, t in self.manifest()["cells"]
-        ]
+    @property
+    def daemon(self) -> bool:
+        """True for a long-lived session (workers idle instead of exiting
+        when the queue is momentarily empty)."""
+        return bool(self.manifest().get("daemon", False))
+
+    @property
+    def max_pending(self) -> "int | None":
+        """The admission bound (``None`` = unbounded)."""
+        bound = self.manifest().get("max_pending")
+        return None if bound is None else int(bound)
+
+    # -- grid registry -------------------------------------------------
+
+    def grids(self) -> dict[str, dict]:
+        """Every registered grid descriptor, keyed by content key.
+
+        Descriptors are immutable once written, so reads are cached;
+        only keys not seen yet touch the filesystem — which is how a
+        running daemon discovers grids enqueued after it started.
+        """
+        if self.grids_dir.is_dir():
+            for path in sorted(self.grids_dir.glob("*.json")):
+                key = path.stem
+                if key in self._grid_cache:
+                    continue
+                entry = _read_json(path)
+                if entry is not None:
+                    self._grid_cache[key] = entry
+        return dict(self._grid_cache)
+
+    def grid(self, key: str) -> dict:
+        """One grid descriptor; raises ``KeyError`` when unregistered."""
+        if key not in self._grid_cache:
+            entry = _read_json(self.grids_dir / f"{key}.json")
+            if entry is None:
+                raise KeyError(f"queue {self.root} has no grid {key!r}")
+            self._grid_cache[key] = entry
+        return self._grid_cache[key]
+
+    def register_grid(
+        self,
+        payload: Mapping,
+        cells: Iterable[SweepCell],
+        *,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> dict:
+        """Admit one sweep grid into the session at ``priority``.
+
+        ``payload`` must pin the grid's content ``key`` (a
+        :func:`repro.engine.service.service_manifest`); it is written
+        once as an immutable descriptor under ``grids/``.  Re-registering
+        the same key is idempotent *only* with a byte-equal payload —
+        two configs mapping to one key would mix stores, so a mismatch
+        raises ``ValueError``.  Cells already done or already pending
+        are skipped; the rest are enqueued under the grid's stem prefix.
+
+        Admission is all-or-nothing: when the queue was created with
+        ``max_pending`` and admitting the missing cells would push the
+        unfinished backlog past it, :class:`QueueFull` is raised before
+        anything is written.
+
+        Returns ``{"grid", "priority", "enqueued", "skipped",
+        "pending_depth"}``.
+        """
+        priority = int(priority)
+        if priority not in PRIORITIES:
+            raise ValueError(
+                f"priority must be one of {PRIORITIES}, got {priority}"
+            )
+        payload = dict(payload)
+        key = str(payload.get("key") or "")
+        if not key:
+            raise ValueError("grid payload pins no content key")
+        existing = _read_json(self.grids_dir / f"{key}.json")
+        if existing is not None and existing.get("payload") != payload:
+            raise ValueError(
+                f"grid {key} is already registered with a different "
+                "payload; two configs mapping to one content key would "
+                "mix stores — refusing"
+            )
+        done = self.done_cells()
+        pending_stems = {
+            stem for _, _, stem, _ in self._pending_entries()
+        }
+        fresh: list[SweepCell] = []
+        skipped = 0
+        for cell in cells:
+            stem = f"{key}__{cell_id(cell)}"
+            if stem in done or stem in pending_stems:
+                skipped += 1
+            else:
+                fresh.append(cell)
+        depth = len(pending_stems - done)
+        bound = self.max_pending
+        if bound is not None and fresh and depth + len(fresh) > bound:
+            raise QueueFull(
+                f"admitting {len(fresh)} cells of grid {key} would put "
+                f"the queue at {depth + len(fresh)} pending, past "
+                f"max_pending={bound} — drain the backlog and retry"
+            )
+        if existing is None:
+            descriptor = {
+                "payload": payload,
+                "priority": priority,
+                "registered_at": self._clock(),
+            }
+            self.grids_dir.mkdir(parents=True, exist_ok=True)
+            try:
+                fd = os.open(
+                    self.grids_dir / f"{key}.json",
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                    0o644,
+                )
+            except FileExistsError:
+                # Lost a registration race; the winner's payload must
+                # agree (immutability is what makes the cache safe).
+                other = _read_json(self.grids_dir / f"{key}.json")
+                if other is not None and other.get("payload") != payload:
+                    raise ValueError(
+                        f"grid {key} was concurrently registered with a "
+                        "different payload — refusing"
+                    )
+            else:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(descriptor, handle, sort_keys=True)
+                    handle.flush()
+                self._grid_cache[key] = descriptor
+        self._enqueue_cells(key, fresh, priority)
+        return {
+            "grid": key,
+            "priority": priority,
+            "enqueued": len(fresh),
+            "skipped": skipped,
+            "pending_depth": depth + len(fresh),
+        }
+
+    def _enqueue_cells(
+        self, grid: "str | None", cells: "list[SweepCell]", priority: int
+    ) -> None:
+        """Drop one registration file per cell into the priority bucket."""
+        if not cells:
+            return
+        bucket = self.pending_dir / f"p{priority}"
+        bucket.mkdir(parents=True, exist_ok=True)
+        seq = self._next_seq()
+        for cell in cells:
+            stem = (
+                cell_id(cell)
+                if grid is None
+                else f"{grid}__{cell_id(cell)}"
+            )
+            entry = {
+                "cell": list(cell.key),
+                "grid": grid,
+                "priority": priority,
+                "seq": seq,
+                "enqueued_at": self._clock(),
+            }
+            _atomic_write_json(bucket / f"{seq:08d}__{stem}.json", entry)
+            seq += 1
+
+    def _next_seq(self) -> int:
+        """One past the highest live enqueue sequence number.
+
+        Sequence numbers only order claims *within* a priority bucket,
+        so restarting after the backlog fully drains is harmless.
+        """
+        highest = 0
+        for _, seq_text, _, _ in self._pending_entries():
+            try:
+                highest = max(highest, int(seq_text))
+            except ValueError:
+                continue
+        return highest + 1
+
+    def _pending_entries(self) -> "list[tuple[int, str, str, Path]]":
+        """Every registration file as ``(priority, seq, stem, path)``,
+        in claim order: bucket by bucket, enqueue sequence within."""
+        entries: list[tuple[int, str, str, Path]] = []
+        for priority in PRIORITIES:
+            bucket = self.pending_dir / f"p{priority}"
+            if not bucket.is_dir():
+                continue
+            for path in bucket.glob("*.json"):
+                seq_text, sep, stem = path.name[: -len(".json")].partition(
+                    "__"
+                )
+                if sep:
+                    entries.append((priority, seq_text, stem, path))
+        entries.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+        return entries
+
+    # -- drain protocol ------------------------------------------------
+
+    def request_drain(self) -> None:
+        """Flip the drain marker: finish the backlog, then shut down.
+
+        Idempotent; observed by daemon workers (exit once drained
+        instead of idling) and the daemon coordinator (stop after the
+        final merge).  One-shot sessions drain by construction and
+        ignore the marker.
+        """
+        _atomic_write_json(
+            self.drain_path, {"requested_at": self._clock()}
+        )
+
+    def drain_requested(self) -> bool:
+        """True once :meth:`request_drain` (or ``repro drain``) fired."""
+        return self.drain_path.exists()
 
     # -- lease protocol ------------------------------------------------
 
     def claim(self, owner: str) -> "Lease | None":
-        """Acquire the first claimable cell for ``owner``.
+        """Acquire the highest-priority claimable cell for ``owner``.
 
-        Walks cells in enqueue order, skipping completed cells and live
-        leases; a stale lease is reclaimed (renamed into the graveyard —
-        the atomic arbiter, one winner per steal) and the cell claimed
-        fresh with its attempt counter bumped.  Returns ``None`` when
-        nothing is claimable right now — which means either the queue is
-        drained (:meth:`drained`) or every remaining cell is under a
-        live lease (poll again after a beat).
+        Walks pending entries strictly ``p0`` → ``p1`` → ``p2``, in
+        enqueue order within each bucket, skipping completed cells and
+        live leases; a stale lease is reclaimed (renamed into the
+        graveyard — the atomic arbiter, one winner per steal) and the
+        cell claimed fresh with its attempt counter bumped.  Returns
+        ``None`` when nothing is claimable right now — which means
+        either the queue is drained (:meth:`drained`), idle awaiting
+        more grids (daemon sessions), or every remaining cell is under
+        a live lease (poll again after a beat).
         """
-        for cell in self.cells():
-            cid = cell_id(cell)
-            if (self.done_dir / f"{cid}.json").exists():
+        seen: set[str] = set()
+        for priority, _, stem, pending_path in self._pending_entries():
+            if stem in seen:
                 continue
-            lease_path = self.lease_dir / f"{cid}.json"
+            seen.add(stem)
+            if (self.done_dir / f"{stem}.json").exists():
+                # Crash leftovers: completed, but the registration file
+                # survived.  Retire it so drains stay O(backlog).
+                try:
+                    pending_path.unlink()
+                except FileNotFoundError:
+                    pass
+                continue
+            entry = _read_json(pending_path)
+            if entry is None:
+                continue  # racing complete() just retired this entry
+            cell = SweepCell(
+                algorithm=str(entry["cell"][0]),
+                n=int(entry["cell"][1]),
+                trial=int(entry["cell"][2]),
+            )
+            grid = entry.get("grid")
+            grid = None if grid is None else str(grid)
+            lease_path = self.lease_dir / f"{stem}.json"
             attempt = 1
             if lease_path.exists():
-                entry = _read_json(lease_path)
+                lease_entry = _read_json(lease_path)
                 # An unreadable lease is a torn write from a claimant
                 # that died mid-claim: heartbeat unknown => stale.
                 heartbeat = (
-                    float(entry["heartbeat"])
-                    if entry is not None and "heartbeat" in entry
+                    float(lease_entry["heartbeat"])
+                    if lease_entry is not None
+                    and "heartbeat" in lease_entry
                     else float("-inf")
                 )
                 now = self._clock()
                 if now - heartbeat < self.ttl:
                     continue  # live lease; not ours to touch
                 attempt = (
-                    int(entry.get("attempt", 0)) + 1 if entry is not None else 1
+                    int(lease_entry.get("attempt", 0)) + 1
+                    if lease_entry is not None
+                    else 1
                 )
-                grave = self.reclaimed_dir / f"{cid}.a{attempt - 1}.json"
+                grave = self.reclaimed_dir / f"{stem}.a{attempt - 1}.json"
                 try:
                     os.rename(lease_path, grave)
                 except FileNotFoundError:
@@ -286,6 +608,7 @@ class LeaseQueue:
                 audit.update(
                     {
                         "cell": list(cell.key),
+                        "grid": grid,
                         "reclaimed_by": owner,
                         "reclaimed_at": now,
                         "stale_heartbeat": (
@@ -301,15 +624,16 @@ class LeaseQueue:
             except FileExistsError:
                 continue  # another claimant got here first
             now = self._clock()
-            entry = {
+            lease_entry = {
                 "cell": list(cell.key),
+                "grid": grid,
                 "owner": owner,
                 "attempt": attempt,
                 "claimed_at": now,
                 "heartbeat": now,
             }
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, sort_keys=True)
+                json.dump(lease_entry, handle, sort_keys=True)
                 handle.flush()
             registry = _metrics.active()
             if registry is not None:
@@ -322,6 +646,7 @@ class LeaseQueue:
                 attempt=attempt,
                 path=lease_path,
                 claimed_at=now,
+                grid=grid,
             )
         return None
 
@@ -353,17 +678,21 @@ class LeaseQueue:
         Idempotent by construction: the done marker is an atomic
         replace, so a duplicate completion (a reclaimed-but-alive worker
         finishing anyway) simply rewrites it.  The lease file is removed
-        only if this worker still owns it.
+        only if this worker still owns it; the pending registration is
+        retired last, so a crash at any point leaves the cell either
+        claimable or provably done — never lost.
         """
         marker = {
             "cell": list(lease.cell.key),
+            "grid": lease.grid,
             "owner": lease.owner,
             "attempt": lease.attempt,
             "claimed_at": lease.claimed_at,
             "completed_at": self._clock(),
         }
-        _atomic_write_json(self.done_dir / f"{lease.id}.json", marker)
+        _atomic_write_json(self.done_dir / f"{lease.stem}.json", marker)
         self.release(lease)
+        self._retire_pending(lease.stem)
         registry = _metrics.active()
         if registry is not None:
             registry.counter(
@@ -373,6 +702,22 @@ class LeaseQueue:
                 "repro_queue_cell_seconds",
                 "Claim-to-completion wall clock per cell.",
             ).observe(marker["completed_at"] - lease.claimed_at)
+
+    def _retire_pending(self, stem: str) -> None:
+        """Remove every registration file for ``stem`` (all buckets)."""
+        for priority in PRIORITIES:
+            bucket = self.pending_dir / f"p{priority}"
+            if not bucket.is_dir():
+                continue
+            for path in bucket.glob(f"*__{stem}.json"):
+                # The glob is a prefix wildcard; confirm the exact stem
+                # (stems themselves contain ``__``).
+                if path.name[: -len(".json")].partition("__")[2] != stem:
+                    continue
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
 
     def release(self, lease: Lease) -> None:
         """Drop ``lease`` without completing (graceful mid-cell shutdown);
@@ -391,7 +736,7 @@ class LeaseQueue:
     # -- observation ---------------------------------------------------
 
     def done_cells(self) -> set[str]:
-        """Cell ids carrying a completion marker."""
+        """Stems carrying a completion marker."""
         return {path.stem for path in self.done_dir.glob("*.json")}
 
     def lease_owners(self) -> set[str]:
@@ -411,35 +756,56 @@ class LeaseQueue:
                 owners.add(str(entry["owner"]))
         return owners
 
-    def drained(self) -> bool:
-        """True when every enqueued cell has a completion marker."""
+    def pending_depth(self) -> int:
+        """Unfinished registered cells (leased or not): the admission
+        metric ``max_pending`` bounds."""
         done = self.done_cells()
-        return all(cell_id(cell) in done for cell in self.cells())
+        stems = {stem for _, _, stem, _ in self._pending_entries()}
+        return len(stems - done)
+
+    def drained(self) -> bool:
+        """True when every registered cell has a completion marker.
+
+        An empty daemon queue is *drained but not done*: workers keep
+        polling for new grids until :meth:`drain_requested` flips too.
+        """
+        done = self.done_cells()
+        return all(
+            stem in done for _, _, stem, _ in self._pending_entries()
+        )
 
     def stats(self) -> QueueStats:
-        """Queue-health snapshot: depth, live leases, completions,
-        cumulative reclamations (the service telemetry payload)."""
-        cells = self.cells()
-        done = self.done_cells()
+        """Queue-health snapshot: depth (split per priority class), live
+        leases, completions, cumulative reclamations (the service
+        telemetry payload)."""
+        done_markers = self.done_cells()
         now = self._clock()
+        seen: set[str] = set()
         leased = 0
-        finished = 0
-        for cell in cells:
-            cid = cell_id(cell)
-            if cid in done:
-                finished += 1
+        pending = 0
+        by_priority = [0] * len(PRIORITIES)
+        for priority, _, stem, _ in self._pending_entries():
+            if stem in seen:
                 continue
-            entry = _read_json(self.lease_dir / f"{cid}.json")
+            seen.add(stem)
+            if stem in done_markers:
+                continue
+            entry = _read_json(self.lease_dir / f"{stem}.json")
             if entry is not None and now - float(
                 entry.get("heartbeat", float("-inf"))
             ) < self.ttl:
                 leased += 1
+            else:
+                pending += 1
+                by_priority[priority] += 1
+        done = len(done_markers)
         return QueueStats(
-            total=len(cells),
-            pending=len(cells) - finished - leased,
+            total=done + leased + pending,
+            pending=pending,
             leased=leased,
-            done=finished,
+            done=done,
             reclamations=sum(1 for _ in self.reclaimed_dir.glob("*.json")),
+            pending_by_priority=tuple(by_priority),
         )
 
     def reclamation_log(self) -> list[dict]:

@@ -47,12 +47,13 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import signal
 import subprocess
 import sys
 import threading
 import time
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 from repro.engine.executor import (
     CellKey,
@@ -60,7 +61,13 @@ from repro.engine.executor import (
     execute_cell,
     expand_grid,
 )
-from repro.engine.queue import LeaseLost, LeaseQueue, QueueStats
+from repro.engine.queue import (
+    DEFAULT_PRIORITY,
+    LeaseLost,
+    LeaseQueue,
+    QueueFull,
+    QueueStats,
+)
 from repro.engine.store import (
     ResultStore,
     atomic_write_text,
@@ -77,9 +84,11 @@ __all__ = [
     "config_from_payload",
     "config_payload",
     "diff_stores",
+    "enqueue_grid",
     "merge_shards",
     "publish_partial_report",
     "run_distributed_sweep",
+    "run_sweep_daemon",
     "run_worker",
     "service_manifest",
     "shards_root",
@@ -277,18 +286,24 @@ def publish_partial_report(
 
 
 def _write_service_telemetry(
-    queue: LeaseQueue, path: Path, registry: "MetricsRegistry | None" = None
+    queue: LeaseQueue,
+    path: Path,
+    registry: "MetricsRegistry | None" = None,
+    service: "Mapping | None" = None,
 ) -> dict:
     """Snapshot queue health + per-worker throughput to ``path``.
 
     When the coordinator is serving live metrics, the same registry
     snapshot the ``/metrics`` endpoint would render is embedded under a
     ``"metrics"`` key, so the on-disk telemetry and the scrape endpoint
-    can never drift apart.
+    can never drift apart.  ``service`` (daemon flag, drain state,
+    respawn count, grid count…) lands under a ``"service"`` key.
     """
     from repro.observability.telemetry import service_telemetry
 
-    payload = service_telemetry(queue.stats(), queue.done_log())
+    payload = service_telemetry(
+        queue.stats(), queue.done_log(), service=service
+    )
     if registry is not None:
         payload["metrics"] = registry.snapshot()
     atomic_write_text(
@@ -323,25 +338,31 @@ def _set_total(counter: Counter, value: float, **labels) -> None:
 def _update_service_metrics(
     registry: MetricsRegistry,
     queue: LeaseQueue,
-    store: ResultStore,
+    stores: "Iterable[ResultStore]",
     shards: "str | os.PathLike",
 ) -> None:
     """Refresh the coordinator's registry from queue + landed records.
 
     Called whenever the done count moves (and once at startup, so every
     pinned series exists from the first scrape).  Queue state feeds the
-    depth gauges and completion counters directly; per-worker
-    throughput comes through the standard telemetry aggregation; and
-    engine-level route-cache totals — which accumulate in *worker*
-    processes, invisible to this one — are recovered by summing the
-    ``cache_*`` telemetry each landed :class:`CellRecord` carries.
+    depth gauges and completion counters directly — ``repro_queue_depth``
+    is published both as the bare total and split per priority class
+    (``{priority="p0"}``…); per-worker throughput comes through the
+    standard telemetry aggregation; and engine-level route-cache totals
+    — which accumulate in *worker* processes, invisible to this one —
+    are recovered by summing the ``cache_*`` telemetry each landed
+    :class:`CellRecord` carries.  ``stores`` holds one canonical store
+    per registered grid (one-shot sessions pass exactly one).
     """
     from repro.observability.telemetry import service_telemetry
 
     stats = queue.stats()
-    registry.gauge(
+    depth = registry.gauge(
         "repro_queue_depth", "Cells claimable right now."
-    ).set(stats.pending)
+    )
+    depth.set(stats.pending)
+    for index, count in enumerate(stats.pending_by_priority):
+        depth.set(count, priority=f"p{index}")
     cells = registry.gauge(
         "repro_queue_cells", "Queue composition by cell state."
     )
@@ -375,10 +396,11 @@ def _update_service_metrics(
             "Per-worker throughput over lease-held time.",
         ).set(slot["cells_per_sec"], worker=worker)
     sums = {series: 0.0 for series in _RECORD_CACHE_SERIES.values()}
-    for record in _landed_records(store, shards).values():
-        telemetry = record.telemetry or {}
-        for field, series in _RECORD_CACHE_SERIES.items():
-            sums[series] += float(telemetry.get(field, 0.0))
+    for store in stores:
+        for record in _landed_records(store, shards).values():
+            telemetry = record.telemetry or {}
+            for field, series in _RECORD_CACHE_SERIES.items():
+                sums[series] += float(telemetry.get(field, 0.0))
     for series, total in sums.items():
         _set_total(
             registry.counter(
@@ -414,9 +436,13 @@ def run_worker(
 ) -> int:
     """The worker process loop: claim → execute → shard-append → complete.
 
-    Opens the queue at ``queue_dir``, reconstructs the sweep config from
-    the session manifest (asserting the content key survived the round
-    trip), and works cells until the queue drains.  A daemon thread
+    Opens the queue at ``queue_dir`` and reconstructs each leased cell's
+    sweep config from its *grid descriptor* (asserting per grid that the
+    content key survived the round trip), appending records to one shard
+    store per grid under this worker's shard root.  One-shot sessions
+    exit once the queue drains; daemon sessions idle through an empty
+    queue — new grids may arrive any moment — and exit only when the
+    drain marker is set *and* the backlog is finished.  A daemon thread
     heartbeats the held lease every ``heartbeat_interval`` seconds while
     the cell executes, so long cells never go stale under a live worker;
     SIGKILL stops the heartbeats with the process, which is exactly the
@@ -434,27 +460,61 @@ def run_worker(
     Returns the number of cells this worker completed.
     """
     queue = LeaseQueue.open(queue_dir)
-    payload = queue.manifest()["payload"]
-    config = config_from_payload(payload["config"])
-    check_stride = int(payload.get("check_stride", 1))
-    trace = bool(payload.get("trace", False))
-    shard = worker_store(queue_dir, worker_id, config, check_stride).open()
-    expected_key = payload.get("key")
-    if expected_key is not None and shard.key != expected_key:
-        raise ValueError(
-            f"worker {worker_id} derived content key {shard.key} but the "
-            f"session manifest pins {expected_key}; the config payload "
-            "did not round-trip — refusing to mix stores"
-        )
-    trace_dir = shard.directory / "traces" if trace else None
+    daemon = queue.daemon
+    resolved: dict[str, tuple] = {}
+
+    def _resolve(grid_id: str) -> tuple:
+        """Per-grid execution context: (config, stride, trace dir, shard).
+
+        Every grid descriptor runs the content-key round-trip guard
+        (:meth:`ResultStore.from_grid_payload`) before its first cell —
+        a perturbed payload stops the worker cold instead of landing
+        records under a foreign key.  Resolutions are cached: a daemon
+        worker re-resolves only for grids enqueued after it started.
+        """
+        if grid_id not in resolved:
+            descriptor = queue.grid(grid_id)
+            payload = descriptor["payload"]
+            shard = ResultStore.from_grid_payload(
+                shards_root(queue_dir) / worker_id, payload
+            ).open()
+            trace_dir = (
+                shard.directory / "traces"
+                if bool(payload.get("trace", False))
+                else None
+            )
+            resolved[grid_id] = (
+                shard.config,
+                int(payload.get("check_stride", 1)),
+                trace_dir,
+                shard,
+            )
+        return resolved[grid_id]
+
+    for grid_id in sorted(queue.grids()):
+        _resolve(grid_id)  # validate everything registered so far, eagerly
     completed = 0
     while True:
         lease = queue.claim(worker_id)
         if lease is None:
-            if queue.drained():
+            if queue.drained() and (
+                not daemon or queue.drain_requested()
+            ):
                 return completed
             time.sleep(poll_interval)
             continue
+        if lease.grid is None:
+            queue.release(lease)
+            raise ValueError(
+                f"cell {lease.id} was enqueued without a grid descriptor; "
+                "worker processes only execute gridded sessions "
+                "(serve-sweep / enqueue)"
+            )
+        try:
+            config, check_stride, trace_dir, shard = _resolve(lease.grid)
+        except BaseException:
+            queue.release(lease)
+            raise
         stop = threading.Event()
 
         def _beat(lease=lease):
@@ -523,6 +583,120 @@ def _spawn_worker(
     )
 
 
+class _WorkerFleet:
+    """The coordinator's view of its worker subprocesses.
+
+    Tracks live members, SIGKILLs a provable lease-holder for chaos
+    injection, and — the robustness fix — respawns **individually**: any
+    member that exited while work remains is replaced against the shared
+    respawn budget, so one deterministically-crashing worker can no
+    longer silently degrade an N-worker fleet to N−1 forever.  Members
+    whose replacement the budget no longer covers are retired (kept for
+    the final wait/kill sweep, never respawned again).
+    """
+
+    def __init__(
+        self,
+        queue_root: Path,
+        heartbeat_interval: float,
+        poll_interval: float,
+        throttle: float,
+        budget: int,
+    ):
+        self.queue_root = queue_root
+        self.heartbeat_interval = heartbeat_interval
+        self.poll_interval = poll_interval
+        self.throttle = throttle
+        self.budget = budget
+        self.respawns = 0
+        self.members: list[tuple[str, subprocess.Popen]] = []
+        self.retired: list[tuple[str, subprocess.Popen]] = []
+
+    def spawn(self, worker_id: str) -> None:
+        self.members.append(
+            (
+                worker_id,
+                _spawn_worker(
+                    self.queue_root,
+                    worker_id,
+                    self.heartbeat_interval,
+                    self.poll_interval,
+                    self.throttle,
+                ),
+            )
+        )
+
+    def alive_count(self) -> int:
+        return sum(1 for _, proc in self.members if proc.poll() is None)
+
+    def all_exited(self) -> bool:
+        return self.alive_count() == 0
+
+    def kill_lease_holder(self, queue: LeaseQueue) -> bool:
+        """SIGKILL one member that provably holds a live lease.
+
+        Returns whether a victim was found — the chaos knob retries
+        every poll until one exists, so the injected death always
+        exercises reclamation (a victim still importing NumPy would die
+        without leaving work behind).
+        """
+        holders = queue.lease_owners()
+        for worker_id, proc in self.members:
+            if worker_id in holders and proc.poll() is None:
+                proc.kill()  # SIGKILL: no cleanup, beats stop
+                return True
+        return False
+
+    def respawn_fallen(self) -> int:
+        """Replace every exited member the budget still covers.
+
+        Returns how many replacements were spawned.  Replacements carry
+        their ancestor's id plus an ``r<n>`` suffix, so shard provenance
+        and the telemetry worker table stay readable across respawns.
+        """
+        replaced = 0
+        kept: list[tuple[str, subprocess.Popen]] = []
+        for worker_id, proc in self.members:
+            if proc.poll() is None:
+                kept.append((worker_id, proc))
+                continue
+            if self.respawns >= self.budget:
+                self.retired.append((worker_id, proc))
+                continue
+            self.respawns += 1
+            replacement = f"{worker_id}r{self.respawns}"
+            kept.append(
+                (
+                    replacement,
+                    _spawn_worker(
+                        self.queue_root,
+                        replacement,
+                        self.heartbeat_interval,
+                        self.poll_interval,
+                        self.throttle,
+                    ),
+                )
+            )
+            replaced += 1
+        self.members = kept
+        return replaced
+
+    def wait_all(self, timeout: float = 30.0) -> None:
+        """Wait for members to exit on their own (post-drain shutdown)."""
+        for _, proc in self.members:
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=timeout)
+                except subprocess.TimeoutExpired:
+                    proc.terminate()
+                    proc.wait(timeout=10)
+
+    def kill_all(self) -> None:
+        for _, proc in [*self.members, *self.retired]:
+            if proc.poll() is None:
+                proc.kill()
+
+
 def run_distributed_sweep(
     config: "ExperimentConfig",
     *,
@@ -540,6 +714,7 @@ def run_distributed_sweep(
     on_progress: "Callable[[QueueStats], None] | None" = None,
     metrics_port: "int | None" = None,
     on_metrics_url: "Callable[[str], None] | None" = None,
+    monotonic: Callable[[], float] = time.monotonic,
 ) -> dict[CellKey, CellRecord]:
     """Coordinate one distributed sweep session; returns the merged records.
 
@@ -547,16 +722,21 @@ def run_distributed_sweep(
     under ``queue_dir`` into ``store``, enqueues exactly the cells the
     store is still missing, spawns ``workers`` worker processes, watches
     the queue (publishing ``<queue>/partial_report.md`` and
-    ``<queue>/telemetry.json`` as cells land), respawns workers when the
-    whole fleet has died with work remaining (at most ``max_respawns``
-    times, default ``workers``), and finally merges the shards into the
-    canonical store.  Store layout, content keys, and resume semantics
-    are identical to a plain ``run_sweep_records`` sweep, so serial,
-    parallel, and distributed sessions resume each other freely.
+    ``<queue>/telemetry.json`` as cells land), individually respawns any
+    worker that exited with work remaining (at most ``max_respawns``
+    replacements total, default ``workers``), and finally merges the
+    shards into the canonical store.  Store layout, content keys, and
+    resume semantics are identical to a plain ``run_sweep_records``
+    sweep, so serial, parallel, and distributed sessions resume each
+    other freely.
 
     ``chaos_kill_after`` SIGKILLs one live worker that many seconds into
     the session — the built-in chaos-engineering knob the CI smoke job
-    uses to prove lease reclamation keeps the sweep lossless.
+    uses to prove lease reclamation keeps the sweep lossless.  All
+    in-process coordinator timing (the chaos timer included) runs on
+    ``monotonic`` — wall-clock steps (NTP, DST) cannot delay or skip an
+    injected kill; only the cross-process lease protocol uses the
+    queue's injectable wall clock.
 
     ``metrics_port`` (``0`` = ephemeral) starts a
     :class:`~repro.observability.server.MetricsServer` beside the poll
@@ -607,7 +787,19 @@ def run_distributed_sweep(
         payload=service_manifest(config, check_stride, trace),
     )
     budget = workers if max_respawns is None else max_respawns
-    fleet: list[tuple[str, subprocess.Popen]] = []
+    fleet = _WorkerFleet(
+        queue_root, heartbeat_interval, poll_interval, worker_throttle, budget
+    )
+
+    def _service_state() -> dict:
+        return {
+            "daemon": False,
+            "draining": False,
+            "grids": len(queue.grids()),
+            "respawns": fleet.respawns,
+            "workers_alive": fleet.alive_count(),
+        }
+
     try:
         if registry is not None:
             from repro.observability.telemetry import service_telemetry
@@ -616,102 +808,348 @@ def run_distributed_sweep(
                 registry,
                 port=metrics_port,
                 health=lambda: service_telemetry(
-                    queue.stats(), queue.done_log()
+                    queue.stats(), queue.done_log(), service=_service_state()
                 ),
             )
             server.start()
             # Seed every series before the first completion, so a scrape
             # that races the fleet spawn already parses cleanly.
-            _update_service_metrics(registry, queue, store, shards)
+            _update_service_metrics(registry, queue, [store], shards)
             if on_metrics_url is not None:
                 on_metrics_url(server.url)
-        fleet = [
-            (
-                f"w{index}",
-                _spawn_worker(
-                    queue_root,
-                    f"w{index}",
-                    heartbeat_interval,
-                    poll_interval,
-                    worker_throttle,
-                ),
-            )
-            for index in range(workers)
-        ]
-        started = time.time()
+        for index in range(workers):
+            fleet.spawn(f"w{index}")
+        chaos_started = monotonic()
         chaos_done = chaos_kill_after is None
-        respawns = 0
         last_done = -1
         while not queue.drained():
             time.sleep(poll_interval)
-            if not chaos_done and time.time() - started >= chaos_kill_after:
-                # Kill a worker that provably holds a live lease, so the
-                # injected death always exercises reclamation (a victim
-                # still importing NumPy would die without leaving work
-                # behind).  Retried every poll until a lease-holder
-                # exists; a sweep that drains first simply escapes.
-                holders = queue.lease_owners()
-                for worker_id, proc in fleet:
-                    if worker_id in holders and proc.poll() is None:
-                        proc.kill()  # SIGKILL: no cleanup, beats stop
-                        chaos_done = True
-                        break
+            if (
+                not chaos_done
+                and monotonic() - chaos_started >= chaos_kill_after
+            ):
+                # Retried every poll until a lease-holder exists; a
+                # sweep that drains first simply escapes.
+                chaos_done = fleet.kill_lease_holder(queue)
             stats = queue.stats()
             if stats.done != last_done:
                 last_done = stats.done
                 publish_partial_report(config, store, shards, report_path)
                 if registry is not None:
-                    _update_service_metrics(registry, queue, store, shards)
-                _write_service_telemetry(queue, telemetry_path, registry)
+                    _update_service_metrics(registry, queue, [store], shards)
+                _write_service_telemetry(
+                    queue, telemetry_path, registry, service=_service_state()
+                )
                 if on_progress is not None:
                     on_progress(stats)
-            if all(proc.poll() is not None for _, proc in fleet):
-                if respawns >= budget:
-                    raise RuntimeError(
-                        f"every worker exited with "
-                        f"{stats.total - stats.done} cells unfinished and "
-                        f"the respawn budget ({budget}) is spent — a cell "
-                        "is failing deterministically; inspect the worker "
-                        "output and the queue at "
-                        f"{queue_root}"
-                    )
-                respawns += 1
-                replacement = f"w{workers - 1}r{respawns}"
-                fleet.append(
-                    (
-                        replacement,
-                        _spawn_worker(
-                            queue_root,
-                            replacement,
-                            heartbeat_interval,
-                            poll_interval,
-                            worker_throttle,
-                        ),
-                    )
+            if queue.drained():
+                break
+            fleet.respawn_fallen()
+            if fleet.all_exited():
+                raise RuntimeError(
+                    f"every worker exited with "
+                    f"{stats.total - stats.done} cells unfinished and "
+                    f"the respawn budget ({budget}) is spent — a cell "
+                    "is failing deterministically; inspect the worker "
+                    "output and the queue at "
+                    f"{queue_root}"
                 )
-        for _, proc in fleet:  # drained: workers exit on their own poll
-            if proc.poll() is None:
-                try:
-                    proc.wait(timeout=30)
-                except subprocess.TimeoutExpired:
-                    proc.terminate()
-                    proc.wait(timeout=10)
+        fleet.wait_all()  # drained: workers exit on their own poll
     finally:
-        for _, proc in fleet:
-            if proc.poll() is None:
-                proc.kill()
+        fleet.kill_all()
         if server is not None:
             server.stop()
     _count_merge(registry, merge_shards(store, shards))
     publish_partial_report(config, store, shards, report_path)
     if registry is not None:
-        _update_service_metrics(registry, queue, store, shards)
-    _write_service_telemetry(queue, telemetry_path, registry)
+        _update_service_metrics(registry, queue, [store], shards)
+    _write_service_telemetry(
+        queue, telemetry_path, registry, service=_service_state()
+    )
     return {
         key: record
         for key, record in store.load_records().items()
         if key in {cell.key for cell in grid}
     }
+
+
+def enqueue_grid(
+    queue: "LeaseQueue | str | os.PathLike",
+    config: "ExperimentConfig",
+    *,
+    check_stride: int = 1,
+    trace: bool = False,
+    priority: int = DEFAULT_PRIORITY,
+    store_root: "str | os.PathLike | None" = None,
+    block: bool = False,
+    block_poll_interval: float = 0.5,
+    block_timeout: "float | None" = None,
+    monotonic: Callable[[], float] = time.monotonic,
+) -> dict:
+    """Admit one sweep grid into a running daemon session's queue.
+
+    The service-level face of :meth:`LeaseQueue.register_grid` — what
+    ``repro enqueue`` calls.  The grid's canonical store root comes from
+    the daemon manifest (``payload["store"]``) unless ``store_root``
+    overrides it; any shards earlier sessions left for this grid's key
+    are merged first, and only the cells the store is still missing are
+    enqueued — so enqueueing is idempotent and resume-safe, exactly like
+    a one-shot ``serve-sweep``.
+
+    Backpressure: when admission would exceed the queue's
+    ``max_pending``, :class:`~repro.engine.queue.QueueFull` propagates
+    (the CLI turns it into exit code 3) — unless ``block=True``, which
+    retries every ``block_poll_interval`` seconds until the backlog
+    drains below the bound (or ``block_timeout`` seconds pass).
+
+    Returns the registration report
+    (``{"grid", "priority", "enqueued", "skipped", "pending_depth"}``).
+    """
+    if not isinstance(queue, LeaseQueue):
+        queue = LeaseQueue.open(queue)
+    payload = service_manifest(config, check_stride, trace)
+    root = (
+        store_root
+        if store_root is not None
+        else queue.manifest()["payload"].get("store")
+    )
+    if root is None:
+        raise ValueError(
+            f"queue {queue.root} records no store root in its manifest "
+            "payload and none was passed — cannot place the grid's "
+            "canonical store"
+        )
+    store = ResultStore(Path(root), config, check_stride)
+    merge_shards(store, shards_root(queue.root))
+    held = store.load_records()
+    cells = [cell for cell in expand_grid(config) if cell.key not in held]
+    started = monotonic()
+    while True:
+        try:
+            return queue.register_grid(payload, cells, priority=priority)
+        except QueueFull:
+            if not block or (
+                block_timeout is not None
+                and monotonic() - started >= block_timeout
+            ):
+                raise
+            time.sleep(block_poll_interval)
+
+
+def _publish_daemon_report(
+    stores: "Mapping[str, ResultStore]",
+    shards: "str | os.PathLike",
+    out_path: "str | os.PathLike",
+) -> int:
+    """The daemon's streaming aggregator: one partial-report section per
+    registered grid, content keys in sorted order, written atomically.
+    Returns the number of cells covered across all grids."""
+    from repro.experiments.report import render_partial_markdown
+
+    covered = 0
+    parts = []
+    for key in sorted(stores):
+        store = stores[key]
+        records = _landed_records(store, shards)
+        covered += len(records)
+        parts.append(
+            f"## Grid `{key}`\n\n"
+            + render_partial_markdown(store.config, records)
+        )
+    atomic_write_text(
+        out_path,
+        "\n\n".join(parts) if parts else "*No grids enqueued yet.*\n",
+    )
+    return covered
+
+
+def run_sweep_daemon(
+    store_root: "str | os.PathLike",
+    *,
+    queue_dir: "str | os.PathLike",
+    workers: int = 2,
+    ttl: float = 10.0,
+    heartbeat_interval: float = 1.0,
+    poll_interval: float = 0.2,
+    worker_throttle: float = 0.0,
+    max_pending: "int | None" = None,
+    max_respawns: "int | None" = None,
+    chaos_kill_after: "float | None" = None,
+    metrics_port: "int | None" = None,
+    on_metrics_url: "Callable[[str], None] | None" = None,
+    on_progress: "Callable[[QueueStats], None] | None" = None,
+    initial_grids: "Iterable[tuple] | None" = None,
+    handle_signals: bool = False,
+    monotonic: Callable[[], float] = time.monotonic,
+) -> dict[str, dict[CellKey, CellRecord]]:
+    """The long-lived coordinator: serve grids until drained *on request*.
+
+    Where :func:`run_distributed_sweep` runs one grid to completion,
+    the daemon opens an empty daemon-mode queue under ``queue_dir``
+    (recording ``store_root`` in the manifest so ``repro enqueue`` can
+    find it), spawns ``workers`` persistent workers, and then serves:
+    new grids dropped into the queue by :func:`enqueue_grid` — from this
+    process or any other sharing the filesystem — are discovered on the
+    next poll, their stores opened under ``store_root`` (one content-key
+    directory per grid), and their cells drained strictly
+    high-priority-first.  The crash/reclaim/merge/telemetry machinery is
+    the one-shot session's, running indefinitely: stale leases are
+    reclaimed, fallen workers respawned individually (``max_respawns``
+    total, default ``workers``), ``partial_report.md`` (one section per
+    grid) and ``telemetry.json`` (with a ``service`` block: daemon flag,
+    drain state, grid count, respawns) republished as cells land.
+
+    Shutdown: :meth:`LeaseQueue.request_drain` (``repro drain``), or —
+    with ``handle_signals=True`` from the main thread — SIGTERM/SIGINT,
+    flips the drain marker; workers finish the backlog and exit, the
+    daemon merges every grid's shards into its canonical store and
+    returns ``{content key: merged records}``.  Because every cell's
+    randomness derives from its grid's root seed, the merged stores are
+    byte-identical to serial runs of the same grids *regardless of the
+    enqueue interleaving* — the distributed ≡ serial battery extends to
+    the daemon path unchanged.
+
+    Raises :class:`RuntimeError` when every worker has exited with
+    backlog remaining and the respawn budget is spent.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    store_base = Path(store_root)
+    store_base.mkdir(parents=True, exist_ok=True)
+    queue_root = Path(queue_dir)
+    shards = shards_root(queue_root)
+    telemetry_path = queue_root / "telemetry.json"
+    report_path = queue_root / "partial_report.md"
+    queue = LeaseQueue.create(
+        queue_root,
+        [],
+        ttl=ttl,
+        daemon=True,
+        max_pending=max_pending,
+        payload={"service": "daemon", "store": str(store_base.resolve())},
+    )
+    for entry in initial_grids or ():
+        config, check_stride, trace, priority = entry
+        enqueue_grid(
+            queue,
+            config,
+            check_stride=check_stride,
+            trace=trace,
+            priority=priority,
+        )
+    budget = workers if max_respawns is None else max_respawns
+    fleet = _WorkerFleet(
+        queue_root, heartbeat_interval, poll_interval, worker_throttle, budget
+    )
+    registry = MetricsRegistry() if metrics_port is not None else None
+    server: "MetricsServer | None" = None
+    stores: dict[str, ResultStore] = {}
+
+    def _refresh_stores() -> dict[str, ResultStore]:
+        """Open a canonical store for every grid registered so far."""
+        for key, descriptor in queue.grids().items():
+            if key not in stores:
+                stores[key] = ResultStore.from_grid_payload(
+                    store_base, descriptor["payload"]
+                ).open()
+        return stores
+
+    def _service_state() -> dict:
+        return {
+            "daemon": True,
+            "draining": queue.drain_requested(),
+            "grids": len(queue.grids()),
+            "respawns": fleet.respawns,
+            "workers_alive": fleet.alive_count(),
+        }
+
+    def _health() -> dict:
+        from repro.observability.telemetry import service_telemetry
+
+        payload = service_telemetry(
+            queue.stats(), queue.done_log(), service=_service_state()
+        )
+        if queue.drain_requested():
+            payload["status"] = "draining"  # overrides the default "ok"
+        return payload
+
+    previous_handlers: dict = {}
+    if handle_signals and threading.current_thread() is threading.main_thread():
+        def _on_signal(signum, frame):
+            queue.request_drain()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous_handlers[signum] = signal.signal(signum, _on_signal)
+    _refresh_stores()
+    try:
+        if registry is not None:
+            server = MetricsServer(registry, port=metrics_port, health=_health)
+            server.start()
+            _update_service_metrics(registry, queue, stores.values(), shards)
+            if on_metrics_url is not None:
+                on_metrics_url(server.url)
+        for index in range(workers):
+            fleet.spawn(f"w{index}")
+        chaos_started = monotonic()
+        chaos_done = chaos_kill_after is None
+        last_published: "tuple | None" = None
+        while not (queue.drain_requested() and queue.drained()):
+            time.sleep(poll_interval)
+            if (
+                not chaos_done
+                and monotonic() - chaos_started >= chaos_kill_after
+            ):
+                chaos_done = fleet.kill_lease_holder(queue)
+            _refresh_stores()
+            stats = queue.stats()
+            snapshot = (
+                stats.done,
+                stats.pending,
+                len(stores),
+                queue.drain_requested(),
+            )
+            if snapshot != last_published:
+                last_published = snapshot
+                _publish_daemon_report(stores, shards, report_path)
+                if registry is not None:
+                    _update_service_metrics(
+                        registry, queue, stores.values(), shards
+                    )
+                _write_service_telemetry(
+                    queue, telemetry_path, registry, service=_service_state()
+                )
+                if on_progress is not None:
+                    on_progress(stats)
+            if queue.drain_requested() and queue.drained():
+                break
+            fleet.respawn_fallen()
+            if fleet.all_exited() and not queue.drained():
+                raise RuntimeError(
+                    f"every worker exited with {queue.pending_depth()} "
+                    f"cells unfinished and the respawn budget ({budget}) "
+                    "is spent — a cell is failing deterministically; "
+                    f"inspect the worker output and the queue at "
+                    f"{queue_root}"
+                )
+        fleet.wait_all()  # drain marker set: workers exit on their own
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+        fleet.kill_all()
+        if server is not None:
+            server.stop()
+    results: dict[str, dict[CellKey, CellRecord]] = {}
+    for key in sorted(_refresh_stores()):
+        store = stores[key]
+        _count_merge(registry, merge_shards(store, shards))
+        results[key] = store.load_records()
+    _publish_daemon_report(stores, shards, report_path)
+    if registry is not None:
+        _update_service_metrics(registry, queue, stores.values(), shards)
+    _write_service_telemetry(
+        queue, telemetry_path, registry, service=_service_state()
+    )
+    return results
 
 
 def _store_cells(root: Path) -> dict[str, dict[CellKey, CellRecord]]:

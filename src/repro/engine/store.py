@@ -190,6 +190,33 @@ class ResultStore:
         self.records_path = self.directory / "cells.jsonl"
         self.config_path = self.directory / "config.json"
 
+    @classmethod
+    def from_grid_payload(
+        cls, root: str | os.PathLike, payload: "dict"
+    ) -> "ResultStore":
+        """Rebuild a store from a service grid descriptor, verifying it.
+
+        ``payload`` is a :func:`repro.engine.service.service_manifest`
+        (a full config payload plus its pinned content ``key``).  The
+        store derives its own key from the reconstructed config, and the
+        two must agree — the round-trip guard every queue consumer
+        (worker shards, daemon per-grid stores, ``repro enqueue``) runs
+        before mixing records, so a perturbed descriptor can never land
+        cells under a foreign key.
+        """
+        from repro.engine.service import config_from_payload
+
+        config = config_from_payload(payload["config"])
+        store = cls(root, config, int(payload.get("check_stride", 1)))
+        expected = payload.get("key")
+        if expected is not None and store.key != expected:
+            raise ValueError(
+                f"derived content key {store.key} but the grid "
+                f"descriptor pins {expected}; the config payload did "
+                "not round-trip — refusing to mix stores"
+            )
+        return store
+
     def open(self) -> "ResultStore":
         """Create the directory and config descriptor if absent.
 

@@ -24,7 +24,11 @@ engine's bit-identity guarantees intact:
 
 Naming follows the Prometheus conventions: ``repro_`` prefix, base
 units, ``_total`` suffix on counters, labels for bounded dimensions only
-(algorithm, worker, state — never per-node or per-tick values).
+(algorithm, worker, state, priority — never per-node or per-tick
+values).  One instrument may carry an unlabelled series *and* labelled
+splits of it side by side — the sweep service publishes
+``repro_queue_depth`` as the bare total plus one
+``repro_queue_depth{priority="p0"}``… series per priority class.
 :meth:`MetricsRegistry.render_prometheus` produces text exposition
 format 0.0.4, which is what the sweep coordinator's ``/metrics``
 endpoint (:mod:`repro.observability.server`) serves.

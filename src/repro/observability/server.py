@@ -10,7 +10,11 @@ watch a fleet live instead of tailing republished files:
 * ``GET /healthz`` — a JSON liveness document built by a caller-supplied
   callable; the coordinator wires in fresh
   :func:`repro.observability.telemetry.service_telemetry` output so the
-  health answer reflects the queue *now*, not the last publish.
+  health answer reflects the queue *now*, not the last publish.  The
+  document defaults to ``{"status": "ok", …}``, and a ``"status"`` key
+  in the callable's payload **overrides** the default — the daemon
+  coordinator reports ``"draining"`` once the drain marker is set, so a
+  scraper can follow the lifecycle from the endpoint alone.
 
 The server is a :class:`~http.server.ThreadingHTTPServer` on a daemon
 thread: scrapes never block the coordinator, and an abandoned server
@@ -49,6 +53,8 @@ class _ScrapeHandler(BaseHTTPRequestHandler):
         elif self.path in ("/healthz", "/healthz/"):
             try:
                 payload = owner.health() if owner.health is not None else {}
+                # A "status" key in the payload wins over the default —
+                # the daemon's lifecycle signal ("draining").
                 document = {"status": "ok", **payload}
                 status = 200
             except Exception as error:  # pragma: no cover — defensive

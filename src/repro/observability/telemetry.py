@@ -126,16 +126,21 @@ def metric_deltas(
     return deltas
 
 
-def service_telemetry(stats, done_log) -> dict:
+def service_telemetry(stats, done_log, service=None) -> dict:
     """A distributed-sweep snapshot: queue depth plus per-worker throughput.
 
     ``stats`` duck-types :class:`~repro.engine.queue.QueueStats`
-    (``total``/``pending``/``leased``/``done``/``reclamations``);
-    ``done_log`` is the queue's list of completion markers, each a
-    mapping with ``owner``, ``claimed_at``, and ``completed_at``.  Busy
-    time is the claim-to-completion span, so a worker's
-    ``cells_per_sec`` reflects execution only — idle polling between
-    leases never counts.
+    (``total``/``pending``/``leased``/``done``/``reclamations``; when it
+    also carries ``pending_by_priority`` — format-2 queues do — the
+    per-priority split lands under ``queue.pending_by_priority`` as
+    ``{"p0": …, "p1": …, "p2": …}``); ``done_log`` is the queue's list
+    of completion markers, each a mapping with ``owner``,
+    ``claimed_at``, and ``completed_at``.  Busy time is the
+    claim-to-completion span, so a worker's ``cells_per_sec`` reflects
+    execution only — idle polling between leases never counts.
+    ``service``, when given, is an opaque coordinator-state mapping
+    (daemon flag, drain state, respawns…) copied under a ``"service"``
+    key.
 
     >>> class S:
     ...     total, pending, leased, done, reclamations = 4, 1, 1, 2, 1
@@ -159,13 +164,20 @@ def service_telemetry(stats, done_log) -> dict:
             if slot["busy_seconds"] > 0
             else 0.0
         )
-    return {
-        "queue": {
-            "total": int(stats.total),
-            "pending": int(stats.pending),
-            "leased": int(stats.leased),
-            "done": int(stats.done),
-            "reclamations": int(stats.reclamations),
-        },
-        "workers": workers,
+    queue = {
+        "total": int(stats.total),
+        "pending": int(stats.pending),
+        "leased": int(stats.leased),
+        "done": int(stats.done),
+        "reclamations": int(stats.reclamations),
     }
+    by_priority = getattr(stats, "pending_by_priority", None)
+    if by_priority is not None:
+        queue["pending_by_priority"] = {
+            f"p{index}": int(count)
+            for index, count in enumerate(by_priority)
+        }
+    payload = {"queue": queue, "workers": workers}
+    if service is not None:
+        payload["service"] = dict(service)
+    return payload
